@@ -1,0 +1,19 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark runs its workload once per measurement (``pedantic`` mode):
+the quantities of interest are the *model* metrics (rounds, awake rounds)
+attached as ``extra_info``, not wall-clock statistics.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with a single pedantic round, returning its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

@@ -1,0 +1,42 @@
+"""E1 — Theorem 1.1: Algorithm 1 time/energy scaling.
+
+Regenerates the Algorithm-1 rows of the scaling series: measured rounds and
+max awake rounds per n, attached as extra_info. The paper's claim: time
+O(log² n), energy O(log log n).
+"""
+
+import math
+
+import pytest
+
+from repro import graphs
+from repro.analysis import verify_mis
+from repro.core import algorithm1
+
+SIZES = [256, 512, 1024, 2048]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_algorithm1_scaling(benchmark, once, n):
+    graph = graphs.gnp_expected_degree(n, max(4.0, math.log2(n)), seed=n)
+    result = once(benchmark, algorithm1, graph, 0)
+    assert verify_mis(graph, result.mis).independent
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["rounds"] = result.rounds
+    benchmark.extra_info["max_energy"] = result.max_energy
+    benchmark.extra_info["avg_energy"] = round(result.average_energy, 3)
+    # Theorem 1.1 shape: rounds within O(log² n), energy far below rounds
+    # at the top of the range.
+    assert result.rounds <= 8 * math.log2(n) ** 2
+
+
+def test_algorithm1_dense_graph_exercises_phase1(benchmark, once):
+    """Dense input: Phase I must actually run its truncated iterations."""
+    n = 512
+    graph = graphs.gnp_expected_degree(n, 200.0, seed=1)
+    result = once(benchmark, algorithm1, graph, 0)
+    assert result.details["phase1"]["iterations"] >= 1
+    benchmark.extra_info["phase1_iterations"] = (
+        result.details["phase1"]["iterations"]
+    )
+    benchmark.extra_info["max_energy"] = result.max_energy

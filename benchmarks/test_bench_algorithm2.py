@@ -1,0 +1,36 @@
+"""E2 — Theorem 1.2: Algorithm 2 time/energy scaling.
+
+Paper claim: time O(log n · log log n · log* n), energy O(log² log n).
+"""
+
+import math
+
+import pytest
+
+from repro import graphs
+from repro.analysis import log_star, verify_mis
+from repro.core import algorithm2
+
+SIZES = [256, 512, 1024, 2048]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_algorithm2_scaling(benchmark, once, n):
+    graph = graphs.gnp_expected_degree(n, max(4.0, math.log2(n)), seed=n)
+    result = once(benchmark, algorithm2, graph, 0)
+    assert verify_mis(graph, result.mis).independent
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["rounds"] = result.rounds
+    benchmark.extra_info["max_energy"] = result.max_energy
+    bound = 16 * math.log2(n) * math.log2(math.log2(n)) * log_star(n)
+    assert result.rounds <= bound
+
+
+def test_algorithm2_dense_graph_exercises_phase1(benchmark, once):
+    n = 512
+    graph = graphs.gnp_expected_degree(n, 200.0, seed=1)
+    result = once(benchmark, algorithm2, graph, 0)
+    assert result.details["phase1"]["iterations"] >= 1
+    benchmark.extra_info["phase1_iterations"] = (
+        result.details["phase1"]["iterations"]
+    )

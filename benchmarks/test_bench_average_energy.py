@@ -1,0 +1,58 @@
+"""E4 — Section 4: constant node-averaged energy.
+
+Regenerates the average-energy series for the augmented algorithms vs Luby.
+"""
+
+import math
+
+import pytest
+
+from repro import graphs
+from repro.analysis import is_independent_set
+from repro.baselines import luby_mis
+from repro.core import (
+    algorithm1_constant_average_energy,
+    algorithm2_constant_average_energy,
+)
+
+SIZES = [256, 1024]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_algorithm1_avg_energy(benchmark, once, n):
+    graph = graphs.gnp_expected_degree(n, 32.0, seed=n)
+    result = once(benchmark, algorithm1_constant_average_energy, graph, 0)
+    assert is_independent_set(graph, result.mis)
+    luby = luby_mis(graph, seed=0)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["avg_energy"] = round(result.average_energy, 3)
+    benchmark.extra_info["luby_avg_energy"] = round(luby.average_energy, 3)
+    benchmark.extra_info["max_energy"] = result.max_energy
+    # The augmentation must not blow up the worst case.
+    assert result.max_energy <= result.rounds
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_algorithm2_avg_energy(benchmark, once, n):
+    graph = graphs.gnp_expected_degree(n, 32.0, seed=n)
+    result = once(benchmark, algorithm2_constant_average_energy, graph, 0)
+    assert is_independent_set(graph, result.mis)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["avg_energy"] = round(result.average_energy, 3)
+
+
+def test_average_energy_flatness(benchmark, once):
+    """The E4 series in one number: avg energy barely moves across 8x n."""
+
+    def growth():
+        small = algorithm1_constant_average_energy(
+            graphs.gnp_expected_degree(256, 32.0, seed=0), 0
+        ).average_energy
+        large = algorithm1_constant_average_energy(
+            graphs.gnp_expected_degree(2048, 32.0, seed=0), 0
+        ).average_energy
+        return large - small
+
+    delta = once(benchmark, growth)
+    benchmark.extra_info["avg_energy_growth_256_to_2048"] = round(delta, 3)
+    assert delta <= 4.0

@@ -1,0 +1,40 @@
+"""E8 — Lemma 2.8: Borůvka merging: O(log k) iterations, O(log n)-diameter
+spanning tree, O(1) awake rounds per node per iteration."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro import graphs
+from repro.cluster import Choreography, merge_component_clusters, singleton_clusters
+from repro.congest import EnergyLedger
+
+SIZES = [64, 128, 256, 512]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_cluster_merge(benchmark, once, n):
+    graph = graphs.gnp(n, min(0.9, 4.0 * math.log2(n) / n), seed=n)
+    component = max(nx.connected_components(graph), key=len)
+    sub = graph.subgraph(component).copy()
+
+    def merge():
+        state = singleton_clusters(sub)
+        ledger = EnergyLedger(sub.nodes)
+        chor = Choreography(ledger)
+        tree, report = merge_component_clusters(state, chor)
+        return tree, report, ledger, chor
+
+    tree, report, ledger, chor = once(benchmark, merge)
+    tree.validate()
+    size = len(component)
+    benchmark.extra_info["component_size"] = size
+    benchmark.extra_info["iterations"] = report.iterations
+    benchmark.extra_info["tree_height"] = tree.height
+    benchmark.extra_info["max_energy"] = ledger.max_energy()
+    benchmark.extra_info["clock_rounds"] = chor.clock
+    assert report.iterations <= 2 * math.ceil(math.log2(max(2, size))) + 8
+    assert tree.height <= size  # <= total cluster mass (O(log n) in-context)
+    per_iteration = ledger.max_energy() / max(1, report.iterations)
+    assert per_iteration <= 45  # O(1) per iteration, generous constant

@@ -1,0 +1,59 @@
+"""E3 (headline) — who wins on what: the paper's central comparison.
+
+One bench per axis at a fixed size: Luby wins time; the new algorithms'
+energy grows like loglog (their win is asymptotic — the fitted growth and
+the extrapolated crossover are printed by ``python -m repro.harness -e E3``).
+"""
+
+import math
+
+from repro import graphs
+from repro.baselines import luby_mis
+from repro.core import algorithm1, algorithm2
+
+
+def _workload(n=1024, seed=3):
+    return graphs.gnp_expected_degree(n, max(4.0, math.log2(n)), seed=seed)
+
+
+def test_headline_comparison(benchmark, once):
+    graph = _workload()
+
+    def run_all():
+        return (
+            luby_mis(graph, seed=0),
+            algorithm1(graph, seed=0),
+            algorithm2(graph, seed=0),
+        )
+
+    luby, alg1, alg2 = once(benchmark, run_all)
+    benchmark.extra_info["luby_rounds"] = luby.rounds
+    benchmark.extra_info["luby_energy"] = luby.max_energy
+    benchmark.extra_info["alg1_rounds"] = alg1.rounds
+    benchmark.extra_info["alg1_energy"] = alg1.max_energy
+    benchmark.extra_info["alg2_rounds"] = alg2.rounds
+    benchmark.extra_info["alg2_energy"] = alg2.max_energy
+
+    # Luby wins time at any scale (its round constant is tiny).
+    assert luby.rounds <= alg1.rounds
+    # The new algorithms sleep: their total awake-time mass sits far below
+    # the baseline's energy ≈ rounds coupling.
+    assert alg1.average_energy <= luby.rounds
+    assert alg2.average_energy <= luby.rounds
+
+
+def test_energy_growth_rates(benchmark, once):
+    """The measurable form of 'exponentially lower energy': growth from
+    n to 16n of Luby's energy exceeds Algorithm 1's on the same graphs."""
+
+    def growth():
+        lo, hi = 256, 4096
+        luby_lo = luby_mis(_workload(lo, seed=1), seed=1).max_energy
+        luby_hi = luby_mis(_workload(hi, seed=1), seed=1).max_energy
+        alg1_lo = algorithm1(_workload(lo, seed=1), seed=1).max_energy
+        alg1_hi = algorithm1(_workload(hi, seed=1), seed=1).max_energy
+        return luby_hi - luby_lo, alg1_hi - alg1_lo
+
+    luby_growth, alg1_growth = once(benchmark, growth)
+    benchmark.extra_info["luby_energy_growth"] = luby_growth
+    benchmark.extra_info["alg1_energy_growth"] = alg1_growth

@@ -1,0 +1,35 @@
+"""E11 — correctness: independence always; maximality w.h.p.
+
+Runs every algorithm over several families and seeds; independence must
+hold in every single run, maximality in (nearly) all.
+"""
+
+import pytest
+
+from repro import graphs
+from repro.harness import measure
+
+ALGORITHMS = ["luby", "algorithm1", "algorithm2",
+              "algorithm1_avg", "algorithm2_avg"]
+FAMILIES = ["gnp_log_degree", "geometric", "barabasi_albert", "grid"]
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_correctness_battery(benchmark, once, algorithm):
+    def battery():
+        runs = independent = maximal = 0
+        for family in FAMILIES:
+            for seed in range(2):
+                graph = graphs.make_family(family, 256, seed=seed)
+                outcome = measure(algorithm, graph, seed=seed)
+                runs += 1
+                independent += int(outcome["independent"])
+                maximal += int(outcome["maximal"])
+        return runs, independent, maximal
+
+    runs, independent, maximal = once(benchmark, battery)
+    benchmark.extra_info["runs"] = runs
+    benchmark.extra_info["independent"] = independent
+    benchmark.extra_info["maximal"] = maximal
+    assert independent == runs  # unconditional
+    assert maximal >= runs - 1  # w.h.p. (allow one unlucky component)

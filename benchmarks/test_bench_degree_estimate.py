@@ -1,0 +1,46 @@
+"""E10 — Lemma 3.4: the tag-based degree estimate concentrates within a
+factor of two once Δ is large."""
+
+import numpy as np
+import pytest
+
+DELTAS = [10**4, 10**8, 10**12]
+
+
+def _fraction_within_factor2(delta, rng, trials=4000):
+    """Fraction of tag-based estimates within [d/2, 2d] of the truth.
+
+    The estimate is ``Δ^0.5 · Binomial(d, Δ^-0.5)`` with ``d = Δ^0.6``; its
+    relative concentration is controlled by ``E[tags] = Δ^0.1``, which is
+    why the paper needs the astronomic ``Δ >= log^20 n`` regime.
+    """
+    true_degree = max(1, int(delta**0.6))
+    estimates = (
+        rng.binomial(true_degree, delta**-0.5, size=trials) * delta**0.5
+    )
+    within = np.mean(
+        (estimates >= true_degree / 2) & (estimates <= 2 * true_degree)
+    )
+    return float(within)
+
+
+@pytest.mark.parametrize("delta", DELTAS)
+def test_degree_estimate_concentration(benchmark, once, delta):
+    rng = np.random.default_rng(7)
+    within = once(benchmark, _fraction_within_factor2, delta, rng)
+    benchmark.extra_info["delta"] = delta
+    benchmark.extra_info["expected_tags"] = round(delta**0.1, 2)
+    benchmark.extra_info["fraction_within_factor2"] = round(within, 3)
+    if delta >= 10**12:  # E[tags] ~ 16: concentration has kicked in
+        assert within >= 0.9
+
+
+def test_concentration_improves_with_delta(benchmark, once):
+    rng = np.random.default_rng(11)
+
+    def ladder():
+        return [_fraction_within_factor2(d, rng) for d in DELTAS]
+
+    fractions = once(benchmark, ladder)
+    benchmark.extra_info["fractions"] = [round(f, 3) for f in fractions]
+    assert fractions == sorted(fractions)  # monotone in Δ

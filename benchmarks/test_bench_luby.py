@@ -1,0 +1,28 @@
+"""E3 (baseline half) — Luby's algorithm: time O(log n), energy O(log n).
+
+The baseline's defining property: energy ≈ rounds (undecided nodes never
+sleep).
+"""
+
+import math
+
+import pytest
+
+from repro import graphs
+from repro.analysis import verify_mis
+from repro.baselines import luby_mis
+
+SIZES = [256, 512, 1024, 2048, 4096]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_luby_scaling(benchmark, once, n):
+    graph = graphs.gnp_expected_degree(n, max(4.0, math.log2(n)), seed=n)
+    result = once(benchmark, luby_mis, graph, 0)
+    assert verify_mis(graph, result.mis).valid
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["rounds"] = result.rounds
+    benchmark.extra_info["max_energy"] = result.max_energy
+    assert result.rounds <= 3 * 12 * math.log2(n)
+    # energy tracks time: no sleeping in the baseline.
+    assert result.max_energy >= result.rounds / 3 - 3

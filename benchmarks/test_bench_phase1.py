@@ -1,0 +1,32 @@
+"""E5 — Lemma 2.1: Phase I leaves residual degree O(log² n) with
+O(log log n) energy."""
+
+import math
+
+import pytest
+
+from repro import graphs
+from repro.core import run_phase1_alg1
+
+CASES = [(400, 160.0), (800, 250.0), (1600, 400.0)]
+
+
+@pytest.mark.parametrize("n,degree", CASES)
+def test_phase1_degree_reduction(benchmark, once, n, degree):
+    graph = graphs.gnp_expected_degree(n, min(degree, n / 2), seed=n)
+    result = once(benchmark, run_phase1_alg1, graph)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["input_degree"] = int(degree)
+    benchmark.extra_info["iterations"] = result.details["iterations"]
+    benchmark.extra_info["residual_degree"] = (
+        result.details["residual_max_degree"]
+    )
+    benchmark.extra_info["max_energy"] = result.metrics.max_energy
+    assert result.details["iterations"] >= 1
+    assert result.details["residual_max_degree"] <= 4 * math.log2(n) ** 2
+    total_rounds = (
+        result.details["iterations"] * result.details["rounds_per_iteration"]
+    )
+    assert result.metrics.max_energy <= (
+        3 * (math.floor(math.log2(max(2, total_rounds))) + 1) + 1
+    )

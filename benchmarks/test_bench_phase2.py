@@ -1,0 +1,29 @@
+"""E7 — Lemma 2.6: shattering leaves poly(log n)-size components clustered
+into O(log log n)-diameter clusters."""
+
+import math
+
+import pytest
+
+from repro import graphs
+from repro.core import run_phase2
+from repro.core.config import DEFAULT_CONFIG
+
+SIZES = [512, 1024, 2048]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_shattering(benchmark, once, n):
+    graph = graphs.gnp_expected_degree(n, max(8.0, n**0.5), seed=n)
+    result = once(benchmark, run_phase2, graph, seed=0, size_bound=n)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["undecided"] = len(result.remaining)
+    benchmark.extra_info["largest_component"] = (
+        result.details["largest_component"]
+    )
+    benchmark.extra_info["components"] = result.details["components"]
+    assert result.details["largest_component"] <= 4 * math.log2(n) ** 2
+    radius = DEFAULT_CONFIG.phase2_radius(n)
+    for state in result.components:
+        for tree in state.trees.values():
+            assert tree.height <= radius

@@ -1,0 +1,36 @@
+"""E6 — Lemma 2.5: overlap schedules have size O(log T) and satisfy the
+pairwise-overlap property."""
+
+import math
+
+import pytest
+
+from repro.schedule import (
+    schedule_for_round,
+    schedule_size_bound,
+    verify_overlap_property,
+)
+
+TOTALS = [2**6, 2**10, 2**14]
+
+
+@pytest.mark.parametrize("total", TOTALS)
+def test_schedule_construction(benchmark, once, total):
+    def build():
+        sizes = [
+            len(schedule_for_round(total, k))
+            for k in range(0, total, max(1, total // 256))
+        ]
+        return max(sizes)
+
+    max_size = once(benchmark, build)
+    benchmark.extra_info["T"] = total
+    benchmark.extra_info["max_schedule_size"] = max_size
+    benchmark.extra_info["bound"] = schedule_size_bound(total)
+    assert max_size <= math.floor(math.log2(total)) + 1
+
+
+def test_overlap_property_exhaustive(benchmark, once):
+    verified = once(benchmark, verify_overlap_property, 256)
+    benchmark.extra_info["T"] = 256
+    assert verified

@@ -1,0 +1,73 @@
+"""Section 4 demo: constant node-averaged energy.
+
+The worst-case energy bounds of Theorems 1.1/1.2 still let *most* nodes be
+awake for Θ(log log n) rounds. Section 4 adds an intermediate phase
+(Lemma 4.1) that shrinks the set of nodes paying for Phases II/III to
+O(n / log² log n), after which the *average* awake time over all nodes is
+O(1) — matching [CGP20, GP22] while keeping the new worst-case bounds.
+
+This example contrasts the augmented algorithms against their plain
+versions and Luby, and shows the distribution of awake rounds over nodes.
+
+Run:  python examples/average_energy_demo.py
+"""
+
+from collections import Counter
+
+from repro import graphs
+from repro.baselines import luby_mis
+from repro.congest import EnergyLedger
+from repro.core import algorithm1, algorithm1_constant_average_energy
+
+
+def histogram(ledger: EnergyLedger, buckets=(1, 3, 6, 12, 24, 48, 1 << 30)):
+    counts = Counter()
+    for node in ledger.nodes:
+        awake = ledger.awake_rounds(node)
+        for bucket in buckets:
+            if awake <= bucket:
+                counts[bucket] += 1
+                break
+    return counts
+
+
+def main():
+    n = 1500
+    graph = graphs.gnp_expected_degree(n, 32.0, seed=5)
+    print(f"graph: {n} nodes, expected degree 32\n")
+
+    runs = {}
+    for name, runner in [
+        ("luby", lambda g, ledger: luby_mis(g, seed=0, ledger=ledger)),
+        ("algorithm1", lambda g, ledger: algorithm1(g, seed=0, ledger=ledger)),
+        ("algorithm1_avg", lambda g, ledger: algorithm1_constant_average_energy(
+            g, seed=0, ledger=ledger)),
+    ]:
+        ledger = EnergyLedger(graph.nodes)
+        result = runner(graph, ledger)
+        runs[name] = (result, ledger)
+
+    print(f"{'algorithm':18s} {'max awake':>10s} {'avg awake':>10s}")
+    for name, (result, _) in runs.items():
+        print(f"{name:18s} {result.max_energy:10d} "
+              f"{result.average_energy:10.2f}")
+
+    print("\ndistribution of awake rounds (nodes per bucket):")
+    buckets = (1, 3, 6, 12, 24, 48, 1 << 30)
+    labels = ["<=1", "<=3", "<=6", "<=12", "<=24", "<=48", ">48"]
+    print(f"{'algorithm':18s}" + "".join(f"{label:>8s}" for label in labels))
+    for name, (_, ledger) in runs.items():
+        counts = histogram(ledger, buckets)
+        print(f"{name:18s}" + "".join(
+            f"{counts.get(bucket, 0):8d}" for bucket in buckets
+        ))
+
+    print(
+        "\nThe augmented algorithm pushes the mass of the distribution into"
+        "\nthe low buckets: most nodes hardly ever wake, only the few that"
+        "\nsurvive into Phases II/III pay the (still polyloglog) worst case."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Recurring coordinator election under battery drain — a lifecycle study.
+
+Sensor networks do not elect coordinators once: nodes fail, topology
+changes, and the election repeats. Each election drains every node's
+battery by the number of rounds it was awake. This example repeats MIS
+elections (with nodes dying when their battery empties) and reports how
+many election epochs the network survives under each algorithm — the
+operational meaning of worst-case energy complexity.
+
+Run:  python examples/recurring_election.py
+"""
+
+import networkx as nx
+
+from repro import graphs
+from repro.baselines import luby_mis
+from repro.congest import EnergyLedger
+from repro.core import algorithm1, algorithm1_constant_average_energy
+
+BATTERY = 400.0
+MAX_EPOCHS = 60
+ALIVE_FRACTION_FLOOR = 0.5  # network "dies" below 50% living sensors
+
+
+def simulate(name, runner, network, seed=0):
+    batteries = {node: BATTERY for node in network.nodes}
+    alive = set(network.nodes)
+    epochs = 0
+    while epochs < MAX_EPOCHS:
+        graph = network.subgraph(alive).copy()
+        if graph.number_of_nodes() < ALIVE_FRACTION_FLOOR * len(network):
+            break
+        ledger = EnergyLedger(graph.nodes)
+        runner(graph, seed=seed + epochs, ledger=ledger)
+        epochs += 1
+        for node in list(alive):
+            batteries[node] -= ledger.awake_rounds(node)
+            if batteries[node] <= 0:
+                alive.discard(node)
+    survivors = len(alive)
+    return epochs, survivors
+
+
+def main():
+    network = graphs.random_geometric(500, seed=11)
+    print(f"sensor field: {network.number_of_nodes()} sensors, "
+          f"battery budget {BATTERY:.0f} awake-rounds each\n")
+
+    contenders = {
+        "luby": lambda g, seed, ledger: luby_mis(g, seed=seed, ledger=ledger),
+        "algorithm1": lambda g, seed, ledger: algorithm1(
+            g, seed=seed, ledger=ledger),
+        "algorithm1_avg": lambda g, seed, ledger: (
+            algorithm1_constant_average_energy(g, seed=seed, ledger=ledger)),
+    }
+
+    print(f"{'algorithm':{16}} {'epochs survived':>16} {'sensors alive':>14}")
+    for name, runner in contenders.items():
+        epochs, survivors = simulate(name, runner, network)
+        capped = "+" if epochs >= MAX_EPOCHS else ""
+        print(f"{name:16} {epochs:>15}{capped:1} {survivors:>14}")
+
+    print(
+        "\nEach epoch charges every node its awake rounds; nodes die at"
+        "\nzero battery, and the field dies below 50% coverage. The"
+        "\nSection 4 variant shines here: most nodes barely wake per epoch,"
+        "\nso the fleet outlives both worst-case-oriented algorithms."
+    )
+
+
+if __name__ == "__main__":
+    main()

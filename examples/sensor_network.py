@@ -1,0 +1,60 @@
+"""Sensor-network scenario: the paper's motivating application.
+
+A wireless sensor network is modeled as a random geometric graph: nodes are
+sensors scattered on the unit square, connected when within radio range.
+Computing an MIS selects a set of coordinator nodes (an independent
+dominating set: every sensor either coordinates or hears a coordinator).
+
+Sensors run on batteries, so what matters is not wall-clock rounds but how
+long each radio is powered: exactly the paper's energy complexity. This
+example runs Luby's algorithm and both of the paper's algorithms on the
+same network and translates awake rounds into battery lifetime.
+
+Run:  python examples/sensor_network.py
+"""
+
+import repro
+from repro import graphs
+from repro.analysis import verify_mis
+
+# One awake round costs one battery unit; sensors ship with a budget.
+BATTERY_UNITS = 120.0
+
+
+def lifetime(result) -> float:
+    """How many MIS recomputations the worst-placed sensor could survive."""
+    return BATTERY_UNITS / max(1, result.max_energy)
+
+
+def main():
+    network = graphs.random_geometric(800, seed=3)
+    print(f"sensor field: {network.number_of_nodes()} sensors, "
+          f"{network.number_of_edges()} radio links")
+
+    runs = {
+        "luby": repro.luby_mis(network, seed=0),
+        "algorithm1": repro.algorithm1(network, seed=0),
+        "algorithm2": repro.algorithm2(network, seed=0),
+    }
+
+    print(f"\n{'algorithm':14s} {'coordinators':>12s} {'rounds':>7s} "
+          f"{'max awake':>10s} {'avg awake':>10s} {'recomputes':>11s}")
+    for name, result in runs.items():
+        assert verify_mis(network, result.mis).independent
+        print(f"{name:14s} {len(result.mis):12d} {result.rounds:7d} "
+              f"{result.max_energy:10d} {result.average_energy:10.2f} "
+              f"{lifetime(result):11.1f}")
+
+    print(
+        "\nReading: 'recomputes' is how often the network could re-elect"
+        "\ncoordinators before the busiest sensor dies. The paper's claim is"
+        "\nabout growth: Luby's awake time grows like log n while the new"
+        "\nalgorithms' grows like log log n. At this network size the"
+        "\nconstant factors still favor Luby — run experiment E3"
+        "\n(python -m repro.harness -e E3) for the fitted growth curves and"
+        "\nthe extrapolated crossover."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setup shim: lets ``pip install -e .`` work in offline environments whose
+setuptools predates PEP 660 editable wheels. All metadata is in
+``pyproject.toml``."""
+
+from setuptools import setup
+
+setup()

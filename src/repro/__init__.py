@@ -1,0 +1,48 @@
+"""repro — reproduction of "Distributed MIS with Low Energy and Time
+Complexities" (Ghaffari & Portmann, PODC 2023).
+
+Public API
+----------
+The two headline algorithms and their constant-average-energy variants::
+
+    import repro
+    graph = repro.graphs.random_geometric(1000, seed=0)
+    result = repro.algorithm1(graph, seed=0)
+    print(result.rounds, result.max_energy, result.average_energy)
+
+Baselines (:func:`luby_mis`, :func:`ghaffari_mis`, greedy variants) and the
+verification/experiment tooling live in the subpackages re-exported below.
+"""
+
+from . import analysis, baselines, cluster, congest, graphs, schedule
+from .baselines import ghaffari_mis, greedy_mis, luby_mis
+from .core import (
+    DEFAULT_CONFIG,
+    AlgorithmConfig,
+    algorithm1,
+    algorithm1_constant_average_energy,
+    algorithm2,
+    algorithm2_constant_average_energy,
+)
+from .result import MISResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlgorithmConfig",
+    "DEFAULT_CONFIG",
+    "MISResult",
+    "algorithm1",
+    "algorithm1_constant_average_energy",
+    "algorithm2",
+    "algorithm2_constant_average_energy",
+    "analysis",
+    "baselines",
+    "cluster",
+    "congest",
+    "ghaffari_mis",
+    "graphs",
+    "greedy_mis",
+    "luby_mis",
+    "schedule",
+]

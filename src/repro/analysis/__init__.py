@@ -1,0 +1,56 @@
+"""Verification, complexity curves, and trial statistics."""
+
+from .complexity import (
+    MODELS,
+    FitResult,
+    algorithm1_energy,
+    algorithm1_time,
+    algorithm2_energy,
+    algorithm2_time,
+    best_model,
+    fit_model,
+    growth_ratio,
+    log2_safe,
+    log_star,
+    loglog,
+    luby_energy,
+    luby_time,
+)
+from .plotting import ascii_chart, sparkline
+from .stats import Summary, aggregate_trials, geometric_mean
+from .verify import (
+    MISReport,
+    greedy_completion,
+    is_independent_set,
+    is_maximal_independent_set,
+    uncovered_nodes,
+    verify_mis,
+)
+
+__all__ = [
+    "MODELS",
+    "FitResult",
+    "MISReport",
+    "Summary",
+    "aggregate_trials",
+    "algorithm1_energy",
+    "algorithm1_time",
+    "algorithm2_energy",
+    "algorithm2_time",
+    "ascii_chart",
+    "best_model",
+    "fit_model",
+    "geometric_mean",
+    "greedy_completion",
+    "growth_ratio",
+    "is_independent_set",
+    "is_maximal_independent_set",
+    "log2_safe",
+    "log_star",
+    "loglog",
+    "luby_energy",
+    "luby_time",
+    "sparkline",
+    "uncovered_nodes",
+    "verify_mis",
+]

@@ -1,0 +1,151 @@
+"""Complexity functions and scaling-shape fits.
+
+The experiments do not try to match the paper's constants (our substrate is
+a simulator); they check the *shape* of growth: Luby's energy grows like
+``log n`` while Algorithm 1's grows like ``log log n``, etc. This module
+provides the reference curves and a small least-squares fitter that reports
+which curve explains a measured series best.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+def log2_safe(x: float) -> float:
+    """log2 clamped below at 1 so iterated logs stay defined and positive."""
+    return math.log2(max(2.0, float(x)))
+
+
+def loglog(x: float) -> float:
+    """log2 log2 x, clamped to stay >= 1."""
+    return max(1.0, math.log2(max(2.0, log2_safe(x))))
+
+
+def log_star(x: float) -> int:
+    """Iterated logarithm base 2: steps of log2 until the value drops to <= 1."""
+    if x <= 1:
+        return 0
+    count = 0
+    value = float(x)
+    while value > 1.0:
+        value = math.log2(value)
+        count += 1
+        if count > 64:  # unreachable for finite inputs; guard anyway
+            break
+    return count
+
+
+# ----------------------------------------------------------------------
+# Reference complexity curves (as functions of n)
+# ----------------------------------------------------------------------
+def luby_time(n: float) -> float:
+    return log2_safe(n)
+
+
+def luby_energy(n: float) -> float:
+    return log2_safe(n)
+
+
+def algorithm1_time(n: float) -> float:
+    return log2_safe(n) ** 2
+
+
+def algorithm1_energy(n: float) -> float:
+    return loglog(n)
+
+
+def algorithm2_time(n: float) -> float:
+    return log2_safe(n) * loglog(n) * max(1, log_star(n))
+
+
+def algorithm2_energy(n: float) -> float:
+    return loglog(n) ** 2
+
+
+# ----------------------------------------------------------------------
+# Shape fitting
+# ----------------------------------------------------------------------
+MODELS: Dict[str, Callable[[float], float]] = {
+    "const": lambda n: 1.0,
+    "loglog": loglog,
+    "loglog_sq": lambda n: loglog(n) ** 2,
+    "log": log2_safe,
+    "log_times_loglog": lambda n: log2_safe(n) * loglog(n),
+    "log_sq": lambda n: log2_safe(n) ** 2,
+    "sqrt": lambda n: math.sqrt(max(1.0, n)),
+    "linear": lambda n: float(n),
+}
+
+
+@dataclass
+class FitResult:
+    """Least-squares fit of ``y ≈ scale * f(x) + offset``."""
+
+    model: str
+    scale: float
+    offset: float
+    r_squared: float
+    residual: float
+
+    def predict(self, x: float) -> float:
+        return self.scale * MODELS[self.model](x) + self.offset
+
+
+def fit_model(
+    xs: Sequence[float], ys: Sequence[float], model: str
+) -> FitResult:
+    """Fit one named model by ordinary least squares."""
+    if model not in MODELS:
+        raise KeyError(f"unknown model {model!r}; have {sorted(MODELS)}")
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two (x, y) pairs of equal length")
+    feature = np.array([MODELS[model](x) for x in xs], dtype=float)
+    target = np.array(ys, dtype=float)
+    design = np.column_stack([feature, np.ones_like(feature)])
+    coeffs, _, _, _ = np.linalg.lstsq(design, target, rcond=None)
+    prediction = design @ coeffs
+    residual = float(np.sum((target - prediction) ** 2))
+    total = float(np.sum((target - target.mean()) ** 2))
+    r_squared = 1.0 if total == 0 else 1.0 - residual / total
+    return FitResult(
+        model=model,
+        scale=float(coeffs[0]),
+        offset=float(coeffs[1]),
+        r_squared=r_squared,
+        residual=residual,
+    )
+
+
+def best_model(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    candidates: Iterable[str] = ("const", "loglog", "loglog_sq", "log", "log_sq"),
+) -> FitResult:
+    """Return the candidate model with the smallest residual.
+
+    Near-ties (e.g., a constant series fits every model with ~zero residual
+    once scaled to zero) resolve toward the earlier candidate, so list
+    candidates from slowest-growing to fastest.
+    """
+    fits = [fit_model(xs, ys, name) for name in candidates]
+    smallest = min(fit.residual for fit in fits)
+    tolerance = 1e-9 * (1.0 + smallest) + 1e-12
+    for fit in fits:
+        if fit.residual <= smallest + tolerance:
+            return fit
+    return fits[0]  # unreachable; appeases static analysis
+
+
+def growth_ratio(
+    xs: Sequence[float], ys: Sequence[float]
+) -> float:
+    """Ratio y_last / y_first — a crude but model-free growth signal."""
+    if len(ys) < 2:
+        raise ValueError("need at least two points")
+    first = ys[0] if ys[0] != 0 else 1.0
+    return ys[-1] / first

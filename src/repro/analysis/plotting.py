@@ -1,0 +1,119 @@
+"""Terminal plotting: ASCII scatter/line charts for experiment reports.
+
+No plotting dependency is available offline, so the harness renders its
+series as ASCII charts — good enough to see a log curve bend away from a
+loglog one.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(
+    serieses: Mapping[str, Mapping[float, float]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    log_x: bool = True,
+    title: Optional[str] = None,
+) -> str:
+    """Render one or more ``{x: y}`` series as an ASCII chart.
+
+    ``log_x`` spaces the x axis logarithmically (natural for n sweeps).
+    Each series gets a marker; a legend is appended.
+    """
+    if not serieses:
+        raise ValueError("nothing to plot")
+    points: List[Tuple[float, float, int]] = []
+    names = list(serieses)
+    for index, name in enumerate(names):
+        series = serieses[name]
+        if not series:
+            raise ValueError(f"series {name!r} is empty")
+        for x, y in series.items():
+            points.append((float(x), float(y), index))
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    if log_x and min(xs) <= 0:
+        raise ValueError("log_x requires positive x values")
+
+    def x_pos(x: float) -> float:
+        if log_x:
+            lo, hi = math.log(min(xs)), math.log(max(xs))
+            value = math.log(x)
+        else:
+            lo, hi = min(xs), max(xs)
+            value = x
+        if hi == lo:
+            return 0.0
+        return (value - lo) / (hi - lo)
+
+    y_lo, y_hi = min(ys), max(ys)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, index in points:
+        column = min(width - 1, int(round(x_pos(x) * (width - 1))))
+        row = min(
+            height - 1,
+            int(round((1.0 - (y - y_lo) / (y_hi - y_lo)) * (height - 1))),
+        )
+        marker = _MARKERS[index % len(_MARKERS)]
+        grid[row][column] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_hi:.6g}"
+    bottom_label = f"{y_lo:.6g}"
+    label_width = max(len(top_label), len(bottom_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top_label.rjust(label_width)
+        elif row_index == height - 1:
+            label = bottom_label.rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    x_left = f"{min(xs):.6g}"
+    x_right = f"{max(xs):.6g}"
+    axis = " " * label_width + " +" + "-" * width
+    lines.append(axis)
+    gap = max(1, width - len(x_left) - len(x_right))
+    lines.append(
+        " " * (label_width + 2) + x_left + " " * gap + x_right
+        + ("  (log x)" if log_x else "")
+    )
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}" for i, name in enumerate(names)
+    )
+    lines.append(" " * (label_width + 2) + legend)
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], width: Optional[int] = None) -> str:
+    """A one-line sparkline (8 levels) of a numeric series."""
+    if not values:
+        raise ValueError("nothing to sparkle")
+    blocks = "▁▂▃▄▅▆▇█"
+    data = list(values)
+    if width is not None and width > 0 and len(data) > width:
+        # Downsample by bucket means.
+        buckets = []
+        for column in range(width):
+            low = column * len(data) // width
+            high = max(low + 1, (column + 1) * len(data) // width)
+            chunk = data[low:high]
+            buckets.append(sum(chunk) / len(chunk))
+        data = buckets
+    lo, hi = min(data), max(data)
+    if hi == lo:
+        return blocks[0] * len(data)
+    return "".join(
+        blocks[min(7, int((v - lo) / (hi - lo) * 7.999))] for v in data
+    )

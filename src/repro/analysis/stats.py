@@ -1,0 +1,75 @@
+"""Trial aggregation for multi-seed experiments."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+@dataclass
+class Summary:
+    """Five-number-ish summary of one measured quantity across trials."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+    count: int
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "Summary":
+        if not values:
+            raise ValueError("cannot summarize an empty sequence")
+        ordered = sorted(float(v) for v in values)
+        count = len(ordered)
+        mean = sum(ordered) / count
+        variance = sum((v - mean) ** 2 for v in ordered) / count
+        mid = count // 2
+        if count % 2 == 1:
+            median = ordered[mid]
+        else:
+            median = 0.5 * (ordered[mid - 1] + ordered[mid])
+        return cls(
+            mean=mean,
+            std=math.sqrt(variance),
+            minimum=ordered[0],
+            maximum=ordered[-1],
+            median=median,
+            count=count,
+        )
+
+
+def aggregate_trials(
+    trials: Iterable[Mapping[str, float]]
+) -> Dict[str, Summary]:
+    """Aggregate a list of per-trial metric dicts into per-key summaries.
+
+    All trials must expose the same keys; this catches accidental metric
+    drift between seeds.
+    """
+    collected: Dict[str, List[float]] = {}
+    expected_keys = None
+    for trial in trials:
+        keys = set(trial.keys())
+        if expected_keys is None:
+            expected_keys = keys
+        elif keys != expected_keys:
+            raise ValueError(
+                f"inconsistent trial keys: {sorted(keys)} vs {sorted(expected_keys)}"
+            )
+        for key, value in trial.items():
+            collected.setdefault(key, []).append(float(value))
+    if not collected:
+        raise ValueError("no trials to aggregate")
+    return {key: Summary.of(values) for key, values in collected.items()}
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (values must be positive)."""
+    if not values:
+        raise ValueError("cannot average an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean needs positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

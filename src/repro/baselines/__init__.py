@@ -1,0 +1,29 @@
+"""Baseline MIS algorithms: sequential ground truth, Luby, Ghaffari-2016."""
+
+from .ghaffari import (
+    ACTIVE,
+    JOINED,
+    REMOVED,
+    GhaffariProgram,
+    ghaffari_mis,
+    ghaffari_shatter,
+)
+from .luby import LubyProgram, luby_mis
+from .regularized_luby import RegularizedLubyProgram, regularized_luby_mis
+from .sequential import greedy_mis, min_degree_greedy_mis, random_greedy_mis
+
+__all__ = [
+    "ACTIVE",
+    "GhaffariProgram",
+    "JOINED",
+    "LubyProgram",
+    "REMOVED",
+    "RegularizedLubyProgram",
+    "ghaffari_mis",
+    "ghaffari_shatter",
+    "greedy_mis",
+    "luby_mis",
+    "min_degree_greedy_mis",
+    "random_greedy_mis",
+    "regularized_luby_mis",
+]

@@ -1,0 +1,193 @@
+"""Ghaffari's MIS algorithm [Gha16] with the 1-bit-message rule of [Gha19].
+
+The paper uses this algorithm twice:
+
+* **Phase II (Lemma 2.6):** run for ``O(log Δ)`` rounds on the residual
+  ``poly(log n)``-degree graph with all nodes awake, which *shatters* the
+  graph — every undecided node survives only with probability
+  ``1/poly(Δ)``, so the undecided residue forms small components.
+* **Phase III (Lemma 2.7):** run ``Θ(log n)`` independent executions in
+  parallel on each small component; since one execution needs only 1-bit
+  messages, ``Θ(log n)`` parallel executions fit in one CONGEST message.
+
+Algorithm (per execution): every undecided node holds a desire level
+``p_t(v)``, initially 1/2. Each round it marks itself with probability
+``p_t(v)``; marked nodes with no marked neighbor join the MIS and retire
+their neighborhood. Desire levels then update from the 1-bit signal "did I
+see a marked neighbor": halve if yes, else double (capped at 1/2). This is
+the small-message variant of the classic effective-degree rule
+(``d_t(v) = Σ p_t(u)``) — the marked-neighbor indicator is a Bernoulli
+sample of that sum.
+
+Each algorithm iteration is two CONGEST sub-rounds (marks / joins); payloads
+are bit-vectors with one bit per execution.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+import networkx as nx
+
+from ..congest import EnergyLedger, Network, NodeProgram
+from ..result import MISResult
+
+_MARK = 0
+_JOIN = 1
+
+ACTIVE = 0
+JOINED = 1
+REMOVED = 2
+
+_MIN_DESIRE = 2.0**-60  # numeric floor; reached only after 60 halvings
+
+
+class GhaffariProgram(NodeProgram):
+    """Node program running ``executions`` parallel Ghaffari-MIS instances.
+
+    Parameters
+    ----------
+    iterations:
+        Number of algorithm iterations (each = 2 CONGEST sub-rounds). When
+        ``None`` the node runs until all its executions are decided (used
+        for the standalone baseline); otherwise it halts after exactly
+        ``iterations`` iterations even if undecided (used for shattering).
+    executions:
+        Number of independent parallel executions (Phase III uses Θ(log n)).
+    """
+
+    def __init__(self, iterations: Optional[int] = None, executions: int = 1):
+        if executions < 1:
+            raise ValueError(f"executions must be >= 1, got {executions}")
+        if iterations is not None and iterations < 0:
+            raise ValueError(f"iterations must be >= 0, got {iterations}")
+        self.iterations = iterations
+        self.executions = executions
+        self.status: List[int] = [ACTIVE] * executions
+        self.desire: List[float] = [0.5] * executions
+        self.marked: List[bool] = [False] * executions
+        self.join_round: List[Optional[int]] = [None] * executions
+        self._marked_neighbor_execs: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    def undecided(self) -> bool:
+        return any(s == ACTIVE for s in self.status)
+
+    def _iteration_of(self, round_index: int) -> int:
+        return round_index // 2
+
+    def on_start(self, ctx):
+        ctx.output["in_mis"] = False
+        if self.iterations == 0:
+            ctx.output["status"] = tuple(self.status)
+            ctx.halt()
+
+    def on_round(self, ctx):
+        if ctx.round % 2 == _MARK:
+            self._do_mark(ctx)
+        else:
+            self._do_join(ctx)
+
+    def _do_mark(self, ctx):
+        for e in range(self.executions):
+            if self.status[e] == ACTIVE:
+                self.marked[e] = bool(ctx.rng.random() < self.desire[e])
+            else:
+                self.marked[e] = False
+        if any(self.marked):
+            ctx.broadcast(tuple(self.marked))
+
+    def _do_join(self, ctx):
+        joined_now = [False] * self.executions
+        for e in range(self.executions):
+            if self.status[e] != ACTIVE:
+                continue
+            saw_marked_neighbor = e in self._marked_neighbor_execs
+            # Desire update: the 1-bit effective-degree signal.
+            if saw_marked_neighbor:
+                self.desire[e] = max(_MIN_DESIRE, self.desire[e] / 2.0)
+            else:
+                self.desire[e] = min(0.5, self.desire[e] * 2.0)
+            if self.marked[e] and not saw_marked_neighbor:
+                self.status[e] = JOINED
+                self.join_round[e] = self._iteration_of(ctx.round)
+                joined_now[e] = True
+        if any(joined_now):
+            ctx.broadcast(tuple(joined_now))
+        self._joined_now = joined_now
+
+    # ------------------------------------------------------------------
+    def on_receive(self, ctx, messages):
+        if ctx.round % 2 == _MARK:
+            marked_execs: Set[int] = set()
+            for message in messages:
+                for e, bit in enumerate(message.payload):
+                    if bit:
+                        marked_execs.add(e)
+            self._marked_neighbor_execs = marked_execs
+        else:
+            for message in messages:
+                for e, bit in enumerate(message.payload):
+                    if bit and self.status[e] == ACTIVE:
+                        self.status[e] = REMOVED
+            self._maybe_finish(ctx)
+
+    def _maybe_finish(self, ctx):
+        iteration = self._iteration_of(ctx.round)
+        out_of_time = (
+            self.iterations is not None and iteration + 1 >= self.iterations
+        )
+        if out_of_time or not self.undecided():
+            ctx.output["in_mis"] = self.status[0] == JOINED
+            ctx.output["status"] = tuple(self.status)
+            ctx.halt()
+
+
+def ghaffari_mis(
+    graph: nx.Graph,
+    seed: int = 0,
+    *,
+    max_rounds: int = 200_000,
+    ledger: Optional[EnergyLedger] = None,
+    size_bound: Optional[int] = None,
+) -> MISResult:
+    """Run Ghaffari's algorithm to completion (single execution) as a baseline."""
+    programs = {node: GhaffariProgram() for node in graph.nodes}
+    network = Network(
+        graph, programs, seed=seed, ledger=ledger, size_bound=size_bound
+    )
+    metrics = network.run(max_rounds=max_rounds)
+    mis = {node for node, flag in network.outputs("in_mis").items() if flag}
+    return MISResult(mis=mis, metrics=metrics, algorithm="ghaffari2016")
+
+
+def ghaffari_shatter(
+    graph: nx.Graph,
+    iterations: int,
+    seed: int = 0,
+    *,
+    ledger: Optional[EnergyLedger] = None,
+    size_bound: Optional[int] = None,
+) -> Tuple[Set[int], Set[int], "Network"]:
+    """Run a fixed number of iterations with all nodes awake (Phase II core).
+
+    Returns ``(joined, undecided, network)``: the nodes that joined the MIS,
+    the nodes still undecided after the budget (the "shattered" residue),
+    and the network (for metrics inspection).
+    """
+    programs = {
+        node: GhaffariProgram(iterations=iterations) for node in graph.nodes
+    }
+    network = Network(
+        graph, programs, seed=seed, ledger=ledger, size_bound=size_bound
+    )
+    network.run(max_rounds=10 * iterations + 16)
+    joined = set()
+    undecided = set()
+    for node in graph.nodes:
+        program = programs[node]
+        if program.status[0] == JOINED:
+            joined.add(node)
+        elif program.status[0] == ACTIVE:
+            undecided.add(node)
+    return joined, undecided, network

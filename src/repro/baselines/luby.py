@@ -1,0 +1,133 @@
+"""Luby's randomized MIS algorithm [Lub86, ABI86] on the CONGEST engine.
+
+This is the classic ``O(log n)``-time baseline the paper compares against:
+every undecided node stays awake every round, so its *energy* complexity is
+also ``Θ(log n)`` — exactly the cost the paper's algorithms attack.
+
+We implement the degree-based variant described in Section 3 of the paper:
+each round, an undecided node marks itself with probability ``1/(2 deg(v))``
+(current degree); for an edge with both endpoints marked, the endpoint with
+the lower (degree, id) pair loses its mark; surviving marked nodes join the
+MIS and are removed together with their neighbors.
+
+Each algorithm iteration is three CONGEST sub-rounds (mark / resolve+join /
+retire), all with 1-bit or (flag, degree) messages within the ``O(log n)``
+budget.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set, Tuple
+
+import networkx as nx
+
+from ..congest import EnergyLedger, Network, NodeProgram
+from ..result import MISResult
+
+_MARK = 0  # sub-round: marked nodes announce (mark, degree)
+_RESOLVE = 1  # sub-round: mark winners join and announce
+_RETIRE = 2  # sub-round: dominated nodes announce their removal
+
+_ACTIVE = "active"
+_JOINED = "joined"
+_REMOVED = "removed"
+
+
+class LubyProgram(NodeProgram):
+    """Node program for Luby's MIS."""
+
+    def __init__(self):
+        self.state = _ACTIVE
+        self.active_neighbors: Set[int] = set()
+        self.marked = False
+        self.marked_neighbors: list = []
+        self.pending_retirement = False
+
+    def on_start(self, ctx):
+        self.active_neighbors = set(ctx.neighbors)
+        ctx.output["in_mis"] = False
+
+    # ------------------------------------------------------------------
+    def _priority(self, degree: int, node: int) -> Tuple[int, int]:
+        """Tie-break key: a marked node beats marked neighbors of lower key."""
+        return (degree, node)
+
+    def on_round(self, ctx):
+        phase = ctx.round % 3
+        if phase == _MARK:
+            self._do_mark(ctx)
+        elif phase == _RESOLVE:
+            self._do_resolve(ctx)
+        else:
+            self._do_retire(ctx)
+
+    def _do_mark(self, ctx):
+        if self.state != _ACTIVE:
+            return
+        degree = len(self.active_neighbors)
+        if degree == 0:
+            self.marked = True  # isolated: joins unopposed
+        else:
+            self.marked = bool(ctx.rng.random() < 1.0 / (2.0 * degree))
+        self.marked_neighbors = []
+        if self.marked:
+            ctx.broadcast((True, degree))
+
+    def _do_resolve(self, ctx):
+        if self.state != _ACTIVE or not self.marked:
+            return
+        mine = self._priority(len(self.active_neighbors), ctx.node)
+        wins = all(
+            self._priority(deg, u) < mine for u, deg in self.marked_neighbors
+        )
+        if wins:
+            self.state = _JOINED
+            ctx.output["in_mis"] = True
+            ctx.output["decided_round"] = ctx.round
+            ctx.broadcast(True)
+
+    def _do_retire(self, ctx):
+        if self.pending_retirement:
+            ctx.broadcast(True)
+
+    # ------------------------------------------------------------------
+    def on_receive(self, ctx, messages):
+        phase = ctx.round % 3
+        if phase == _MARK:
+            self.marked_neighbors = [
+                (m.sender, m.payload[1]) for m in messages if m.payload[0]
+            ]
+        elif phase == _RESOLVE:
+            if self.state == _JOINED:
+                ctx.halt()  # announced; done forever
+                return
+            joiners = {m.sender for m in messages}
+            if joiners:
+                self.active_neighbors -= joiners
+                if self.state == _ACTIVE:
+                    self.state = _REMOVED
+                    self.pending_retirement = True
+                    ctx.output["decided_round"] = ctx.round
+        else:  # _RETIRE
+            retirees = {m.sender for m in messages}
+            self.active_neighbors -= retirees
+            if self.pending_retirement:
+                ctx.halt()
+
+
+def luby_mis(
+    graph: nx.Graph,
+    seed: int = 0,
+    *,
+    max_rounds: int = 100_000,
+    ledger: Optional[EnergyLedger] = None,
+    size_bound: Optional[int] = None,
+) -> MISResult:
+    """Run Luby's algorithm to completion and return the MIS with metrics."""
+    programs = {node: LubyProgram() for node in graph.nodes}
+    network = Network(
+        graph, programs, seed=seed, ledger=ledger, size_bound=size_bound
+    )
+    metrics = network.run(max_rounds=max_rounds)
+    mis = {node for node, flag in network.outputs("in_mis").items() if flag}
+    return MISResult(mis=mis, metrics=metrics, algorithm="luby")

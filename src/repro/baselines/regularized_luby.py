@@ -1,0 +1,119 @@
+"""Regularized Luby — the paper's Phase-I starting point, unmodified.
+
+Section 2.1 derives Phase I from a "slowed-down variant of Luby's
+algorithm, sometimes also called regularized Luby": in iteration ``i``
+every remaining node marks itself with probability ``2^i / (10 Δ)`` in each
+of ``c·log n`` rounds; marked nodes with no marked neighbor join the MIS
+and retire their neighborhoods. After ``log Δ`` iterations the marking
+probability has risen to the constant ``1/10``, at which point the sparse
+remnants (isolated nodes included) decide within a few more rounds.
+
+Unlike Phase I, this base version *re-marks* nodes every round, so marking
+rounds cannot be precomputed and every undecided node must stay awake: its
+energy equals its decision time, ``O(log Δ · log n)`` worst case — strictly
+worse than plain Luby. That is exactly the gap the paper's one-shot
+modification closes, which makes this the right middle rung for ablation
+A1 (Luby → regularized Luby → Phase I).
+
+Engine mapping: two sub-rounds per round (mark / join).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import networkx as nx
+
+from ..congest import EnergyLedger, Network, NodeProgram
+from ..graphs.properties import max_degree
+from ..result import MISResult
+
+_MARK = 0
+_JOIN = 1
+
+
+class RegularizedLubyProgram(NodeProgram):
+    """Node program for the unmodified regularized Luby algorithm."""
+
+    def __init__(self, iterations: int, rounds_per_iteration: int, delta: int,
+                 mark_divisor: float = 10.0):
+        self.iterations = max(1, iterations)
+        self.rounds_per_iteration = max(1, rounds_per_iteration)
+        self.delta = max(1, delta)
+        self.mark_divisor = mark_divisor
+        self.joined = False
+        self.marked = False
+        self.saw_marked_neighbor = False
+
+    def on_start(self, ctx):
+        ctx.output["in_mis"] = False
+
+    def _probability(self, algo_round: int) -> float:
+        # The iteration index clamps at the top: after the scheduled
+        # cascade the constant-probability regime persists until everyone
+        # has decided (the paper's "finally, isolated nodes join").
+        iteration = min(
+            self.iterations - 1, algo_round // self.rounds_per_iteration
+        )
+        return min(1.0, (2.0**iteration) / (self.mark_divisor * self.delta))
+
+    def on_round(self, ctx):
+        algo_round, sub = divmod(ctx.round, 2)
+        if sub == _MARK:
+            # Fresh coin every round: this is the re-marking that the
+            # paper's one-shot modification removes.
+            self.marked = bool(
+                ctx.rng.random() < self._probability(algo_round)
+            )
+            if self.marked:
+                ctx.broadcast(True)
+        else:
+            if self.marked and not self.saw_marked_neighbor:
+                self.joined = True
+                ctx.output["in_mis"] = True
+                ctx.broadcast(True)
+
+    def on_receive(self, ctx, messages):
+        _, sub = divmod(ctx.round, 2)
+        if sub == _MARK:
+            self.saw_marked_neighbor = bool(messages)
+        else:
+            if self.joined:
+                ctx.halt()
+            elif messages:  # a neighbor joined: dominated
+                ctx.halt()
+
+
+def regularized_luby_mis(
+    graph: nx.Graph,
+    seed: int = 0,
+    *,
+    round_factor: float = 1.0,
+    max_rounds: int = 500_000,
+    ledger: Optional[EnergyLedger] = None,
+    size_bound: Optional[int] = None,
+) -> MISResult:
+    """Run the unmodified regularized Luby algorithm to completion."""
+    n = size_bound if size_bound is not None else graph.number_of_nodes()
+    delta = max_degree(graph)
+    iterations = max(1, math.ceil(math.log2(max(2, delta))))
+    rounds_per_iteration = max(1, round(round_factor * math.log2(max(2, n))))
+    programs = {
+        node: RegularizedLubyProgram(iterations, rounds_per_iteration, delta)
+        for node in graph.nodes
+    }
+    network = Network(
+        graph, programs, seed=seed, ledger=ledger, size_bound=n
+    )
+    network.run(max_rounds=max_rounds)
+    mis = {node for node, flag in network.outputs("in_mis").items() if flag}
+    return MISResult(
+        mis=mis,
+        metrics=network.metrics(),
+        algorithm="regularized_luby",
+        details={
+            "iterations": iterations,
+            "rounds_per_iteration": rounds_per_iteration,
+        },
+    )

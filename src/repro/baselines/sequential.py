@@ -1,0 +1,62 @@
+"""Sequential (centralized) MIS algorithms.
+
+These are not distributed algorithms; they serve as ground truth for
+correctness tests and as the reference the distributed outputs are compared
+against in experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+import networkx as nx
+import numpy as np
+
+
+def greedy_mis(
+    graph: nx.Graph, order: Optional[Iterable[int]] = None
+) -> Set[int]:
+    """Greedy MIS following ``order`` (default: ascending node id).
+
+    Every prefix-greedy pass yields a maximal independent set; different
+    orders yield different (all valid) MISs.
+    """
+    if order is None:
+        order = sorted(graph.nodes)
+    else:
+        order = list(order)
+        if set(order) != set(graph.nodes):
+            raise ValueError("order must be a permutation of the graph's nodes")
+    mis: Set[int] = set()
+    blocked: Set[int] = set()
+    for node in order:
+        if node not in blocked:
+            mis.add(node)
+            blocked.add(node)
+            blocked.update(graph.neighbors(node))
+    return mis
+
+
+def random_greedy_mis(graph: nx.Graph, seed: int = 0) -> Set[int]:
+    """Greedy MIS over a uniformly random permutation (seeded)."""
+    rng = np.random.default_rng(seed)
+    nodes = sorted(graph.nodes)
+    order = [nodes[i] for i in rng.permutation(len(nodes))]
+    return greedy_mis(graph, order)
+
+
+def min_degree_greedy_mis(graph: nx.Graph) -> Set[int]:
+    """Greedy MIS repeatedly taking a minimum-degree node.
+
+    Produces large independent sets; used to sanity-check MIS sizes in
+    experiments (an MIS can be small — e.g., a star's hub — this heuristic
+    gives a strong size reference).
+    """
+    working = graph.copy()
+    mis: Set[int] = set()
+    while working.number_of_nodes():
+        node = min(working.nodes, key=lambda v: (working.degree(v), v))
+        mis.add(node)
+        removed = {node, *working.neighbors(node)}
+        working.remove_nodes_from(removed)
+    return mis

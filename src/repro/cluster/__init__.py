@@ -1,0 +1,45 @@
+"""Cluster substrate: rooted trees, energy-metered tree operations,
+Linial coloring, and Borůvka-style merging (Section 2.3 of the paper)."""
+
+from .choreography import Choreography
+from .linial import (
+    color_classes,
+    encode_polynomial,
+    evaluate_polynomial,
+    is_prime,
+    linial_round,
+    next_prime,
+    polynomial_parameters,
+    reduce_coloring,
+    verify_proper,
+)
+from .merge import (
+    HIGH_INDEGREE,
+    ClusterState,
+    MergeReport,
+    merge_component_clusters,
+    singleton_clusters,
+    state_from_trees,
+)
+from .tree import RootedTree, convergecast_fold
+
+__all__ = [
+    "HIGH_INDEGREE",
+    "Choreography",
+    "ClusterState",
+    "MergeReport",
+    "RootedTree",
+    "color_classes",
+    "convergecast_fold",
+    "encode_polynomial",
+    "evaluate_polynomial",
+    "is_prime",
+    "linial_round",
+    "merge_component_clusters",
+    "next_prime",
+    "polynomial_parameters",
+    "reduce_coloring",
+    "singleton_clusters",
+    "state_from_trees",
+    "verify_proper",
+]

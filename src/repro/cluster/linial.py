@@ -1,0 +1,205 @@
+"""Linial's color-reduction algorithm [Lin92, Theorem 5.1].
+
+Phase III colors the low-indegree cluster graph ``H_L`` (max degree 10) to
+schedule its maximal-matching step: Algorithm 1 runs two reduction rounds to
+reach ``O(log log n)`` colors; Algorithm 2 runs ``O(log* n)`` rounds to reach
+``O(1)`` colors (Section 3.2).
+
+One reduction round, via the polynomial construction: a color ``c`` from a
+palette of size ``k`` is encoded as a polynomial ``p_c`` of degree ``d`` over
+``GF(q)`` (its base-``q`` digits are the coefficients). Two distinct
+polynomials of degree ``<= d`` agree on at most ``d`` points, so if
+``q > Δ·d``, every node ``v`` can pick an evaluation point ``x`` where its
+polynomial differs from all ``<= Δ`` neighbors'; the pair ``(x, p_v(x))`` —
+i.e. ``x·q + p_v(x)`` — is its new color from a palette of ``q²``. Each round
+needs only one exchange of current colors between neighbors.
+
+Iterating shrinks the palette from ``k`` to ``O(Δ² log k)``-ish per round and
+reaches a fixed point of ``O(Δ²)`` colors after ``O(log* k)`` rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+
+def is_prime(value: int) -> bool:
+    if value < 2:
+        return False
+    if value < 4:
+        return True
+    if value % 2 == 0:
+        return False
+    divisor = 3
+    while divisor * divisor <= value:
+        if value % divisor == 0:
+            return False
+        divisor += 2
+    return True
+
+
+def next_prime(value: int) -> int:
+    """Smallest prime >= value."""
+    candidate = max(2, value)
+    while not is_prime(candidate):
+        candidate += 1
+    return candidate
+
+
+def polynomial_parameters(palette_size: int, max_degree: int) -> Tuple[int, int]:
+    """Choose ``(q, d)``: prime field size and polynomial degree.
+
+    Requirements: ``q^(d+1) >= palette_size`` (every color encodable) and
+    ``q > max_degree * d`` (a free evaluation point always exists). Among
+    feasible pairs we pick the one minimizing the new palette ``q²``.
+    """
+    if palette_size < 1:
+        raise ValueError(f"palette size must be positive, got {palette_size}")
+    if max_degree < 0:
+        raise ValueError(f"max degree must be non-negative, got {max_degree}")
+    best: Optional[Tuple[int, int]] = None
+    for degree in range(1, 66):
+        field_floor = max_degree * degree + 1
+        # Smallest q with q^(degree+1) >= palette_size.
+        encode_floor = 2
+        while encode_floor ** (degree + 1) < palette_size:
+            encode_floor += 1
+        q = next_prime(max(field_floor, encode_floor))
+        if best is None or q < best[0]:
+            best = (q, degree)
+        if q == next_prime(field_floor):
+            # Larger degrees only raise the Δ·d floor from here on.
+            break
+    assert best is not None
+    return best
+
+
+def encode_polynomial(color: int, q: int, degree: int) -> List[int]:
+    """Base-``q`` digits of ``color`` as ``degree + 1`` coefficients."""
+    if color < 0:
+        raise ValueError(f"colors must be non-negative, got {color}")
+    coefficients = []
+    value = color
+    for _ in range(degree + 1):
+        coefficients.append(value % q)
+        value //= q
+    if value:
+        raise ValueError(
+            f"color {color} does not fit in {degree + 1} base-{q} digits"
+        )
+    return coefficients
+
+
+def evaluate_polynomial(coefficients: List[int], x: int, q: int) -> int:
+    """Evaluate at ``x`` over GF(q) (Horner)."""
+    result = 0
+    for coefficient in reversed(coefficients):
+        result = (result * x + coefficient) % q
+    return result
+
+
+def linial_round(
+    colors: Mapping[int, int],
+    adjacency: Mapping[int, Iterable[int]],
+    max_degree: int,
+) -> Dict[int, int]:
+    """One Linial reduction round; returns the new (proper) coloring.
+
+    ``adjacency`` must be symmetric; the input coloring must be proper.
+    """
+    if not colors:
+        return {}
+    palette = max(colors.values()) + 1
+    q, degree = polynomial_parameters(palette, max_degree)
+    encoded = {
+        node: encode_polynomial(color, q, degree)
+        for node, color in colors.items()
+    }
+    new_colors: Dict[int, int] = {}
+    for node in sorted(colors):
+        mine = encoded[node]
+        neighbor_polys = []
+        for neighbor in adjacency.get(node, ()):
+            if neighbor == node:
+                continue
+            if colors[neighbor] == colors[node]:
+                raise ValueError(
+                    f"input coloring not proper: {node} and {neighbor} share "
+                    f"color {colors[node]}"
+                )
+            neighbor_polys.append(encoded[neighbor])
+        if len(neighbor_polys) > max_degree:
+            raise ValueError(
+                f"node {node} has {len(neighbor_polys)} neighbors, above the "
+                f"declared max degree {max_degree}"
+            )
+        chosen_x = None
+        for x in range(q):
+            value = evaluate_polynomial(mine, x, q)
+            if all(
+                evaluate_polynomial(other, x, q) != value
+                for other in neighbor_polys
+            ):
+                chosen_x = x
+                break
+        if chosen_x is None:  # impossible when q > Δ·d and input proper
+            raise RuntimeError(
+                f"no conflict-free evaluation point for node {node} "
+                f"(q={q}, d={degree})"
+            )
+        new_colors[node] = chosen_x * q + evaluate_polynomial(mine, chosen_x, q)
+    return new_colors
+
+
+def reduce_coloring(
+    colors: Mapping[int, int],
+    adjacency: Mapping[int, Iterable[int]],
+    max_degree: int,
+    *,
+    rounds: Optional[int] = None,
+    target_palette: Optional[int] = None,
+    max_rounds: int = 64,
+) -> Tuple[Dict[int, int], int]:
+    """Iterate Linial rounds; returns ``(coloring, rounds_used)``.
+
+    Stop conditions (first to hit wins): exactly ``rounds`` rounds; palette
+    ``<= target_palette``; or the palette stops shrinking (fixed point,
+    ``O(Δ²)`` colors).
+    """
+    if rounds is None and target_palette is None:
+        target_palette = 0  # run to the fixed point
+    current = dict(colors)
+    used = 0
+    while True:
+        palette = (max(current.values()) + 1) if current else 0
+        if rounds is not None and used >= rounds:
+            return current, used
+        if target_palette is not None and rounds is None and palette <= target_palette:
+            return current, used
+        if used >= max_rounds:
+            return current, used
+        reduced = linial_round(current, adjacency, max_degree)
+        new_palette = (max(reduced.values()) + 1) if reduced else 0
+        if new_palette >= palette:
+            return current, used  # fixed point reached
+        current = reduced
+        used += 1
+
+
+def color_classes(colors: Mapping[int, int]) -> List[List[int]]:
+    """Nodes grouped by color, colors ascending, nodes sorted."""
+    classes: Dict[int, List[int]] = {}
+    for node, color in colors.items():
+        classes.setdefault(color, []).append(node)
+    return [sorted(classes[color]) for color in sorted(classes)]
+
+
+def verify_proper(
+    colors: Mapping[int, int], adjacency: Mapping[int, Iterable[int]]
+) -> bool:
+    """True iff no edge is monochromatic."""
+    for node, neighbors in adjacency.items():
+        for neighbor in neighbors:
+            if neighbor != node and colors[node] == colors[neighbor]:
+                return False
+    return True

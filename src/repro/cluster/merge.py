@@ -1,0 +1,469 @@
+"""Energy-efficient cluster merging (Lemma 2.8 of the paper).
+
+Input: one connected component whose nodes are partitioned into clusters,
+each with a rooted spanning tree (from Phase II, diameter ``O(log log n)``).
+Output: a single rooted spanning tree of the component with diameter
+``O(log n)``, built in ``O(log #clusters)`` Borůvka iterations, with every
+node awake only ``O(1)`` rounds per iteration.
+
+Each iteration follows the paper's five steps:
+
+1. **Outgoing edges** — every cluster selects its edge to the neighboring
+   cluster of minimum identifier (identifier = root node id; ties between
+   parallel edges broken by the lexicographically smallest edge). Mutual
+   choices form the set ``M``; the rest orient ``H`` acyclically.
+2. **High/low indegree** — clusters with indegree ``>= 10`` drop their own
+   outgoing edge and accept all remaining incoming edges (set ``E_H``).
+3. **Maximal matching on H_L** — the low-indegree cluster graph has degree
+   at most 10; Linial color reduction schedules a greedy pass over color
+   classes in which every unmatched cluster grabs an unmatched incoming
+   neighbor (set ``M_L``).
+4. **Leftovers** — every still-unmerged cluster hooks onto an outgoing
+   neighbor that *is* merging (set ``R``); maximality of ``M_L`` guarantees
+   such a neighbor exists.
+5. **Star merges** — merge along ``M``, ``E_H``, ``M_L``, ``R`` in this
+   order. A leaf cluster re-roots its tree at the attachment point and
+   hangs below the center's endpoint, so depths stay consistent.
+
+Energy per iteration and node: a constant number of exchanges plus
+broadcasts/convergecasts (2 awake rounds each). Iterating the color classes
+costs each node only the classes its own and neighboring clusters belong to
+— ``O(1)`` because ``H_L`` has degree ``<= 10``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from .choreography import Choreography
+from .linial import color_classes, reduce_coloring, verify_proper
+from .tree import RootedTree
+
+HIGH_INDEGREE = 10
+
+
+@dataclass
+class ClusterState:
+    """Clusters of one connected component, each with a rooted tree."""
+
+    graph: nx.Graph
+    cluster_of: Dict[int, int]
+    trees: Dict[int, RootedTree]
+
+    def validate(self) -> None:
+        nodes = set(self.graph.nodes)
+        if set(self.cluster_of) != nodes:
+            raise ValueError("cluster_of must cover exactly the graph nodes")
+        covered: Set[int] = set()
+        for cluster_id, tree in self.trees.items():
+            tree.validate()
+            if tree.root != cluster_id:
+                raise ValueError(
+                    f"cluster id {cluster_id} must equal its tree root "
+                    f"{tree.root}"
+                )
+            if covered & tree.nodes:
+                raise ValueError("cluster trees overlap")
+            covered |= tree.nodes
+            for member in tree.nodes:
+                if self.cluster_of[member] != cluster_id:
+                    raise ValueError(
+                        f"node {member} mapped to {self.cluster_of[member]}, "
+                        f"but sits in tree {cluster_id}"
+                    )
+        if covered != nodes:
+            raise ValueError("cluster trees do not cover the component")
+
+    @property
+    def cluster_count(self) -> int:
+        return len(self.trees)
+
+
+def singleton_clusters(graph: nx.Graph) -> ClusterState:
+    """Every node its own cluster (used in tests and ablations)."""
+    trees = {
+        node: RootedTree(root=node, parent={node: None}, depth={node: 0})
+        for node in graph.nodes
+    }
+    return ClusterState(
+        graph=graph,
+        cluster_of={node: node for node in graph.nodes},
+        trees=trees,
+    )
+
+
+def state_from_trees(graph: nx.Graph, trees: Dict[int, RootedTree]) -> ClusterState:
+    """Build and validate a state from pre-built cluster trees."""
+    cluster_of = {
+        member: cluster_id
+        for cluster_id, tree in trees.items()
+        for member in tree.nodes
+    }
+    state = ClusterState(graph=graph, cluster_of=cluster_of, trees=trees)
+    state.validate()
+    return state
+
+
+@dataclass
+class MergeReport:
+    """What happened during one component's merge."""
+
+    initial_clusters: int
+    iterations: int
+    final_height: int
+    linial_rounds_total: int = 0
+    color_classes_total: int = 0
+    merges_by_set: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class _OutgoingChoice:
+    edge: Tuple[int, int]  # (node in this cluster, node in target cluster)
+    target: int  # target cluster id
+
+
+def _select_outgoing(state: ClusterState) -> Dict[int, _OutgoingChoice]:
+    """Step 1: per cluster, the edge to the minimum-id neighboring cluster."""
+    choices: Dict[int, _OutgoingChoice] = {}
+    best: Dict[int, Tuple[int, Tuple[int, int], Tuple[int, int]]] = {}
+    for u, v in state.graph.edges:
+        cu, cv = state.cluster_of[u], state.cluster_of[v]
+        if cu == cv:
+            continue
+        for mine, theirs, inner, outer in ((cu, cv, u, v), (cv, cu, v, u)):
+            edge_id = (min(u, v), max(u, v))
+            key = (theirs, edge_id)
+            if mine not in best or key < (best[mine][0], best[mine][1]):
+                best[mine] = (theirs, edge_id, (inner, outer))
+    for cluster_id, (target, _edge_id, oriented) in best.items():
+        choices[cluster_id] = _OutgoingChoice(edge=oriented, target=target)
+    return choices
+
+
+def _partition_edges(
+    state: ClusterState, choices: Dict[int, _OutgoingChoice]
+) -> Tuple[Set[frozenset], Dict[int, int]]:
+    """Split mutual choices (set M) from oriented H edges; count indegrees."""
+    mutual: Set[frozenset] = set()
+    for cluster_id, choice in choices.items():
+        reverse = choices.get(choice.target)
+        if reverse is not None and reverse.target == cluster_id:
+            mutual.add(frozenset((cluster_id, choice.target)))
+    indegree: Dict[int, int] = {cluster_id: 0 for cluster_id in state.trees}
+    for cluster_id, choice in choices.items():
+        if frozenset((cluster_id, choice.target)) in mutual:
+            continue
+        indegree[choice.target] += 1
+    return mutual, indegree
+
+
+def _neighbor_edge_index(
+    state: ClusterState,
+) -> Dict[int, Dict[int, Tuple[int, int]]]:
+    """For each cluster, its neighboring clusters with one canonical edge
+    (oriented from this cluster outward)."""
+    index: Dict[int, Dict[int, Tuple[int, int]]] = {
+        cluster_id: {} for cluster_id in state.trees
+    }
+    for u, v in state.graph.edges:
+        cu, cv = state.cluster_of[u], state.cluster_of[v]
+        if cu == cv:
+            continue
+        for mine, theirs, inner, outer in ((cu, cv, u, v), (cv, cu, v, u)):
+            known = index[mine].get(theirs)
+            if known is None or (inner, outer) < known:
+                index[mine][theirs] = (inner, outer)
+    return index
+
+
+@dataclass
+class _Merge:
+    center_cluster: int  # cluster id at selection time (may have merged since)
+    leaf_cluster: int
+    center_node: int
+    leaf_node: int
+
+
+def _attach_leaf(state: ClusterState, merge: _Merge) -> None:
+    """Hang the leaf cluster's (re-rooted) tree below the center node."""
+    center_id = state.cluster_of[merge.center_node]
+    center_tree = state.trees[center_id]
+    leaf_tree = state.trees.pop(merge.leaf_cluster)
+    rerooted = leaf_tree.rerooted(merge.leaf_node)
+    base_depth = center_tree.depth[merge.center_node] + 1
+    parent = dict(center_tree.parent)
+    depth = dict(center_tree.depth)
+    for node, up in rerooted.parent.items():
+        parent[node] = up if up is not None else merge.center_node
+        depth[node] = base_depth + rerooted.depth[node]
+        state.cluster_of[node] = center_id
+    state.trees[center_id] = RootedTree(
+        root=center_tree.root, parent=parent, depth=depth
+    )
+
+
+def merge_component_clusters(
+    state: ClusterState,
+    choreography: Choreography,
+    *,
+    allotment: Optional[int] = None,
+    linial_rounds: Optional[int] = 2,
+    linial_target_palette: Optional[int] = None,
+    max_iterations: Optional[int] = None,
+) -> Tuple[RootedTree, MergeReport]:
+    """Run Lemma 2.8 on one component; returns the spanning tree and report.
+
+    Parameters
+    ----------
+    allotment:
+        Clock rounds granted to each broadcast/convergecast. Defaults to a
+        bound that any merged tree can never exceed: the sum over initial
+        clusters of (height + 1), plus 2.
+    linial_rounds / linial_target_palette:
+        Coloring budget for the matching step. Algorithm 1 uses 2 rounds
+        (palette ``O(log log n)``); Algorithm 2 passes
+        ``linial_rounds=None, linial_target_palette=121`` to emulate the
+        ``O(log* n)``-round constant-palette variant of [BM21a].
+    """
+    state.validate()
+    initial_clusters = state.cluster_count
+    if allotment is None:
+        allotment = 2 + sum(
+            tree.height + 1 for tree in state.trees.values()
+        )
+    if max_iterations is None:
+        max_iterations = 2 * max(1, math.ceil(math.log2(max(2, initial_clusters)))) + 8
+
+    report = MergeReport(
+        initial_clusters=initial_clusters,
+        iterations=0,
+        final_height=0,
+        merges_by_set={"M": 0, "E_H": 0, "M_L": 0, "R": 0},
+    )
+
+    # Set-up (paper: leader election + BFS with all nodes awake).
+    if initial_clusters > 1:
+        setup_rounds = 2 * max(
+            (tree.height for tree in state.trees.values()), default=0
+        ) + 2
+        choreography.awake_all(state.graph.nodes, setup_rounds)
+
+    while state.cluster_count > 1:
+        report.iterations += 1
+        clusters_before = state.cluster_count
+        if report.iterations > max_iterations:
+            raise RuntimeError(
+                f"cluster merging exceeded {max_iterations} iterations "
+                f"({state.cluster_count} clusters remain)"
+            )
+
+        # -- Step 1: outgoing edges -----------------------------------
+        choreography.exchange(state.graph.nodes)  # learn neighbor cluster ids
+        choreography.parallel_convergecast(state.trees.values(), allotment)
+        choreography.parallel_broadcast(state.trees.values(), allotment)
+        choices = _select_outgoing(state)
+        if set(choices) != set(state.trees):
+            stranded = sorted(set(state.trees) - set(choices))
+            raise RuntimeError(
+                f"clusters {stranded[:5]} found no outgoing edge in a "
+                "connected component — invariant violated"
+            )
+        mutual, indegree = _partition_edges(state, choices)
+
+        # -- Step 2: high/low indegree --------------------------------
+        choreography.exchange(state.graph.nodes)
+        choreography.parallel_convergecast(state.trees.values(), allotment)
+        choreography.parallel_broadcast(state.trees.values(), allotment)
+        high = {c for c, deg in indegree.items() if deg >= HIGH_INDEGREE}
+        merged_flag: Dict[int, bool] = {c: False for c in state.trees}
+
+        merges_m: List[_Merge] = []
+        for pair in sorted(mutual, key=sorted):
+            a, b = sorted(pair)
+            choice = choices[b]  # b's edge points into a's cluster
+            merges_m.append(
+                _Merge(
+                    center_cluster=a,
+                    leaf_cluster=b,
+                    center_node=choice.edge[1],
+                    leaf_node=choice.edge[0],
+                )
+            )
+            merged_flag[a] = merged_flag[b] = True
+
+        merges_eh: List[_Merge] = []
+        for cluster_id in sorted(choices):
+            choice = choices[cluster_id]
+            if frozenset((cluster_id, choice.target)) in mutual:
+                continue
+            if choice.target in high and cluster_id not in high:
+                merges_eh.append(
+                    _Merge(
+                        center_cluster=choice.target,
+                        leaf_cluster=cluster_id,
+                        center_node=choice.edge[1],
+                        leaf_node=choice.edge[0],
+                    )
+                )
+                merged_flag[cluster_id] = True
+                merged_flag[choice.target] = True
+
+        # -- Step 3: maximal matching on H_L --------------------------
+        low = [c for c in sorted(state.trees) if c not in high]
+        hl_edges: List[Tuple[int, int]] = []  # (source, target) both low
+        for cluster_id in low:
+            choice = choices[cluster_id]
+            if frozenset((cluster_id, choice.target)) in mutual:
+                continue
+            if choice.target in high:
+                continue
+            hl_edges.append((cluster_id, choice.target))
+
+        merges_ml: List[_Merge] = []
+        classes_used = 0
+        if hl_edges:
+            adjacency: Dict[int, Set[int]] = {c: set() for c in low}
+            for source, target in hl_edges:
+                adjacency[source].add(target)
+                adjacency[target].add(source)
+            initial_colors = {c: c for c in low}
+            colors, rounds_used = reduce_coloring(
+                initial_colors,
+                adjacency,
+                HIGH_INDEGREE,
+                rounds=linial_rounds,
+                target_palette=linial_target_palette,
+            )
+            report.linial_rounds_total += rounds_used
+            assert verify_proper(colors, adjacency)
+            # Cluster-graph Linial rounds: each costs one broadcast, one
+            # boundary exchange, and one convergecast in every low cluster.
+            boundary = {
+                node
+                for source, target in hl_edges
+                for node in choices[source].edge
+            }
+            low_trees = [state.trees[c] for c in low]
+            for _ in range(rounds_used):
+                choreography.parallel_broadcast(low_trees, allotment)
+                choreography.exchange(boundary)
+                choreography.parallel_convergecast(low_trees, allotment)
+
+            incoming: Dict[int, List[int]] = {c: [] for c in low}
+            for source, target in hl_edges:
+                incoming[target].append(source)
+            matched: Set[int] = set()
+            for color_class in color_classes(colors):
+                classes_used += 1
+                class_nodes: Set[int] = set()
+                for cluster_id in color_class:
+                    class_nodes.update(state.trees[cluster_id].nodes)
+                    for other in adjacency[cluster_id]:
+                        class_nodes.update(state.trees[other].nodes)
+                # One scheduling round per color class; only clusters of
+                # this class and their H_L neighbors listen.
+                choreography.exchange(class_nodes)
+                for cluster_id in color_class:
+                    if cluster_id in matched:
+                        continue
+                    candidates = [
+                        source
+                        for source in sorted(incoming[cluster_id])
+                        if source not in matched
+                    ]
+                    if not candidates:
+                        continue
+                    source = candidates[0]
+                    matched.add(cluster_id)
+                    matched.add(source)
+                    choice = choices[source]
+                    merges_ml.append(
+                        _Merge(
+                            center_cluster=cluster_id,
+                            leaf_cluster=source,
+                            center_node=choice.edge[1],
+                            leaf_node=choice.edge[0],
+                        )
+                    )
+                    merged_flag[cluster_id] = True
+                    merged_flag[source] = True
+            report.color_classes_total += classes_used
+
+        # -- Step 4: leftovers hook onto merging neighbors ------------
+        # The paper's rule: an unmerged low cluster follows its outgoing
+        # edge, whose target must be merging (matching maximality). We
+        # additionally let a stranded *high* cluster (possible when all its
+        # in-edges came from other high clusters) hook onto any merging
+        # neighbor; with no merging neighbor it simply waits one iteration.
+        choreography.exchange(state.graph.nodes)
+        neighbor_edges = _neighbor_edge_index(state)
+        merges_r: List[_Merge] = []
+        for cluster_id in sorted(state.trees):
+            if merged_flag[cluster_id]:
+                continue
+            choice = choices[cluster_id]
+            if cluster_id not in high and not merged_flag.get(
+                choice.target, False
+            ):
+                raise RuntimeError(
+                    f"cluster {cluster_id} has no merging neighbor — "
+                    "matching maximality violated"
+                )
+            if merged_flag.get(choice.target, False):
+                center, edge = choice.target, choice.edge
+            else:
+                merging_neighbors = [
+                    target
+                    for target in sorted(neighbor_edges[cluster_id])
+                    if merged_flag.get(target, False)
+                ]
+                if not merging_neighbors:
+                    continue  # isolated island of high clusters; wait
+                center = merging_neighbors[0]
+                edge = neighbor_edges[cluster_id][center]
+            merges_r.append(
+                _Merge(
+                    center_cluster=center,
+                    leaf_cluster=cluster_id,
+                    center_node=edge[1],
+                    leaf_node=edge[0],
+                )
+            )
+            merged_flag[cluster_id] = True
+
+        # -- Step 5: star merges, stage by stage ----------------------
+        for label, stage in (
+            ("M", merges_m),
+            ("E_H", merges_eh),
+            ("M_L", merges_ml),
+            ("R", merges_r),
+        ):
+            if not stage:
+                continue
+            report.merges_by_set[label] += len(stage)
+            # Handshake round on the merge edges, then convergecast +
+            # broadcast inside every leaf cluster to flip its orientation.
+            touched = {m.center_node for m in stage} | {
+                m.leaf_node for m in stage
+            }
+            choreography.exchange(touched)
+            leaf_trees = [state.trees[m.leaf_cluster] for m in stage]
+            choreography.parallel_convergecast(leaf_trees, allotment)
+            choreography.parallel_broadcast(leaf_trees, allotment)
+            for merge in stage:
+                _attach_leaf(state, merge)
+
+        if state.cluster_count >= clusters_before:
+            raise RuntimeError(
+                f"merge iteration {report.iterations} made no progress "
+                f"({clusters_before} clusters)"
+            )
+
+    final_tree = next(iter(state.trees.values()))
+    final_tree.validate()
+    report.final_height = final_tree.height
+    return final_tree, report

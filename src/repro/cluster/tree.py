@@ -1,0 +1,172 @@
+"""Rooted spanning trees of clusters.
+
+Phase III of the paper works on clusters, each equipped with a rooted
+spanning tree in which every node knows its parent and its distance to the
+root (the structure called "Labeled Distance Tree" in [AMP22] and
+"Distributed Layered Tree" in [BM21a]). Knowing the depth is what allows
+broadcast/convergecast with O(1) awake rounds per node: a node is awake only
+at clock offsets ``d_v`` and ``d_v + 1`` of the operation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+import networkx as nx
+
+
+@dataclass
+class RootedTree:
+    """A rooted tree: parent pointers plus per-node depths.
+
+    Invariants (checked by :meth:`validate`): the root's parent is ``None``
+    and its depth 0; every other node's parent is in the tree with depth one
+    less than the node's own.
+    """
+
+    root: int
+    parent: Dict[int, Optional[int]]
+    depth: Dict[int, int]
+
+    @property
+    def nodes(self) -> Set[int]:
+        return set(self.parent)
+
+    @property
+    def size(self) -> int:
+        return len(self.parent)
+
+    @property
+    def height(self) -> int:
+        return max(self.depth.values())
+
+    def children(self) -> Dict[int, List[int]]:
+        """Child lists, sorted for determinism."""
+        kids: Dict[int, List[int]] = {node: [] for node in self.parent}
+        for node, up in self.parent.items():
+            if up is not None:
+                kids[up].append(node)
+        for node in kids:
+            kids[node].sort()
+        return kids
+
+    def path_to_root(self, node: int) -> List[int]:
+        """The node, its parent, ... up to the root."""
+        path = [node]
+        current = node
+        seen = {node}
+        while self.parent[current] is not None:
+            current = self.parent[current]
+            if current in seen:
+                raise ValueError(f"parent pointers cycle at {current}")
+            seen.add(current)
+            path.append(current)
+        return path
+
+    def nodes_by_depth(self) -> List[List[int]]:
+        """Nodes grouped by depth, index = depth (deterministic order)."""
+        layers: List[List[int]] = [[] for _ in range(self.height + 1)]
+        for node in sorted(self.parent):
+            layers[self.depth[node]].append(node)
+        return layers
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on any structural inconsistency."""
+        if self.root not in self.parent:
+            raise ValueError(f"root {self.root} not among tree nodes")
+        if self.parent[self.root] is not None:
+            raise ValueError("root must have parent None")
+        if self.depth.get(self.root) != 0:
+            raise ValueError("root must have depth 0")
+        if set(self.parent) != set(self.depth):
+            raise ValueError("parent and depth key sets differ")
+        for node, up in self.parent.items():
+            if node == self.root:
+                continue
+            if up is None:
+                raise ValueError(f"non-root {node} has no parent")
+            if up not in self.parent:
+                raise ValueError(f"parent {up} of {node} not in tree")
+            if self.depth[node] != self.depth[up] + 1:
+                raise ValueError(
+                    f"depth of {node} is {self.depth[node]}, expected "
+                    f"{self.depth[up] + 1}"
+                )
+        # Reachability: walking up from every node must reach the root.
+        for node in self.parent:
+            self.path_to_root(node)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def bfs(
+        cls,
+        graph: nx.Graph,
+        root: int,
+        members: Optional[Iterable[int]] = None,
+    ) -> "RootedTree":
+        """BFS spanning tree of ``members`` (default: root's component)."""
+        allowed = set(members) if members is not None else None
+        if allowed is not None and root not in allowed:
+            raise ValueError(f"root {root} not in members")
+        parent: Dict[int, Optional[int]] = {root: None}
+        depth: Dict[int, int] = {root: 0}
+        queue = deque([root])
+        while queue:
+            node = queue.popleft()
+            for neighbor in sorted(graph.neighbors(node)):
+                if neighbor in parent:
+                    continue
+                if allowed is not None and neighbor not in allowed:
+                    continue
+                parent[neighbor] = node
+                depth[neighbor] = depth[node] + 1
+                queue.append(neighbor)
+        if allowed is not None and parent.keys() != allowed:
+            missing = allowed - parent.keys()
+            raise ValueError(
+                f"members not reachable from root {root}: {sorted(missing)[:5]}"
+            )
+        return cls(root=root, parent=parent, depth=depth)
+
+    def rerooted(self, new_root: int) -> "RootedTree":
+        """The same tree re-rooted at ``new_root`` (parents reversed on the
+        root path, depths recomputed)."""
+        if new_root not in self.parent:
+            raise ValueError(f"{new_root} not in tree")
+        adjacency: Dict[int, Set[int]] = {node: set() for node in self.parent}
+        for node, up in self.parent.items():
+            if up is not None:
+                adjacency[node].add(up)
+                adjacency[up].add(node)
+        parent: Dict[int, Optional[int]] = {new_root: None}
+        depth: Dict[int, int] = {new_root: 0}
+        queue = deque([new_root])
+        while queue:
+            node = queue.popleft()
+            for neighbor in sorted(adjacency[node]):
+                if neighbor not in parent:
+                    parent[neighbor] = node
+                    depth[neighbor] = depth[node] + 1
+                    queue.append(neighbor)
+        return RootedTree(root=new_root, parent=parent, depth=depth)
+
+
+def convergecast_fold(tree: RootedTree, values: Dict[int, object], combine):
+    """Fold per-node values bottom-up; returns the aggregate at the root.
+
+    This computes *what* a distributed convergecast would deliver; the
+    energy/time cost of the operation is charged separately by the
+    choreography layer.
+    """
+    missing = tree.nodes - values.keys()
+    if missing:
+        raise ValueError(f"values missing for nodes {sorted(missing)[:5]}")
+    aggregate = dict(values)
+    kids = tree.children()
+    for layer in reversed(tree.nodes_by_depth()):
+        for node in layer:
+            for child in kids[node]:
+                aggregate[node] = combine(aggregate[node], aggregate[child])
+    return aggregate[tree.root]

@@ -1,0 +1,44 @@
+"""CONGEST-with-sleeping simulator: the model substrate of the paper.
+
+Public surface:
+
+* :class:`Network` — synchronous message-passing engine with sleeping.
+* :class:`NodeProgram` / :class:`Context` — the node-program API.
+* :class:`EnergyLedger` / :class:`RunMetrics` — time/energy accounting.
+* :class:`Message`, :func:`payload_bits`, :func:`default_bit_budget` —
+  message-size accounting for the ``B = O(log n)``-bit budget.
+"""
+
+from .errors import (
+    CongestError,
+    DuplicateMessageError,
+    MessageTooLargeError,
+    NotANeighborError,
+    SchedulingError,
+    SimulationLimitError,
+)
+from .message import Message, default_bit_budget, payload_bits
+from .metrics import EnergyLedger, RunMetrics
+from .network import Network, run_uniform_program
+from .program import Context, NodeProgram
+from .trace import NetworkTrace, RoundRecord
+
+__all__ = [
+    "CongestError",
+    "Context",
+    "DuplicateMessageError",
+    "EnergyLedger",
+    "Message",
+    "MessageTooLargeError",
+    "Network",
+    "NetworkTrace",
+    "NodeProgram",
+    "NotANeighborError",
+    "RoundRecord",
+    "RunMetrics",
+    "SchedulingError",
+    "SimulationLimitError",
+    "default_bit_budget",
+    "payload_bits",
+    "run_uniform_program",
+]

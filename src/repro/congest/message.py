@@ -1,0 +1,76 @@
+"""Messages and message-size accounting for the CONGEST model.
+
+The CONGEST model allows each node to send one message of ``B = O(log n)``
+bits to each neighbor per round.  The paper's algorithms mostly exchange
+single-bit flags ("I am marked", "I joined the MIS"); Phase III additionally
+ships cluster identifiers and small counters, which fit in ``O(log n)`` bits.
+
+To make these claims checkable rather than assumed, every payload is priced
+in bits by :func:`payload_bits`, and the network enforces the budget.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+
+def default_bit_budget(n: int) -> int:
+    """Return the standard CONGEST bit budget ``B = Θ(log n)`` for ``n`` nodes.
+
+    We allow a small constant number of node identifiers plus constant-size
+    headers, matching the model description in Section 1.1 of the paper
+    ("sufficient to describe constant many nodes or edges and values
+    polynomially bounded in n").
+    """
+    if n < 1:
+        raise ValueError(f"n must be positive, got {n}")
+    ident_bits = max(1, math.ceil(math.log2(max(2, n))))
+    return 8 * ident_bits + 32
+
+
+def payload_bits(payload: Any) -> int:
+    """Price a payload in bits.
+
+    Pricing rules (conservative, favoring the *algorithm under test*):
+
+    * ``None`` costs 0 bits (a beacon; its presence is the information).
+    * ``bool`` costs 1 bit.
+    * ``int`` costs ``max(1, bit_length) + 1`` bits (sign bit).
+    * ``float`` costs 32 bits (algorithms only ship bounded-precision values).
+    * ``str`` costs 8 bits per character.
+    * tuples/lists/sets cost the sum of their elements plus 2 bits of framing
+      per element.
+    * dicts cost keys + values, framed likewise.
+    """
+    if payload is None:
+        return 0
+    if isinstance(payload, bool):
+        return 1
+    if isinstance(payload, int):
+        return max(1, payload.bit_length()) + 1
+    if isinstance(payload, float):
+        return 32
+    if isinstance(payload, str):
+        return 8 * len(payload)
+    if isinstance(payload, (tuple, list, frozenset, set)):
+        return sum(payload_bits(item) + 2 for item in payload)
+    if isinstance(payload, dict):
+        return sum(
+            payload_bits(key) + payload_bits(value) + 4
+            for key, value in payload.items()
+        )
+    raise TypeError(f"cannot price payload of type {type(payload).__name__}")
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single CONGEST message: who sent it and what it carries."""
+
+    sender: int
+    payload: Any
+
+    @property
+    def bits(self) -> int:
+        return payload_bits(self.payload)

@@ -1,0 +1,182 @@
+"""Energy and round accounting shared by every simulation style.
+
+The paper's two complexity measures (Section 1.1):
+
+* **time complexity** — total number of synchronous rounds;
+* **energy complexity** — the maximum over nodes of the number of rounds the
+  node is awake. The node-averaged variant (Section 4) is the mean.
+
+All execution styles in this repository (the message-passing engine and the
+metered Phase III choreography) charge awake rounds through an
+:class:`EnergyLedger`, so results are directly comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+
+class EnergyLedger:
+    """Per-node awake-round counter.
+
+    The ledger does not know *why* a node was awake; it only counts rounds.
+    Phases stack: running several phases against the same ledger accumulates,
+    which matches the paper's additive accounting in Theorems 1.1/1.2.
+    """
+
+    def __init__(self, nodes: Iterable[int]):
+        self._awake: Dict[int, int] = {node: 0 for node in nodes}
+        if not self._awake:
+            raise ValueError("EnergyLedger needs at least one node")
+
+    def charge(self, node: int, rounds: int = 1) -> None:
+        """Record that ``node`` was awake for ``rounds`` additional rounds."""
+        if rounds < 0:
+            raise ValueError(f"cannot charge negative rounds ({rounds})")
+        self._awake[node] += rounds
+
+    def charge_many(self, nodes: Iterable[int], rounds: int = 1) -> None:
+        for node in nodes:
+            self.charge(node, rounds)
+
+    def awake_rounds(self, node: int) -> int:
+        return self._awake[node]
+
+    @property
+    def nodes(self):
+        return self._awake.keys()
+
+    def max_energy(self) -> int:
+        """Worst-case energy complexity: max awake rounds over all nodes."""
+        return max(self._awake.values())
+
+    def total_energy(self) -> int:
+        return sum(self._awake.values())
+
+    def average_energy(self) -> float:
+        """Node-averaged energy complexity (Section 4 of the paper)."""
+        return self.total_energy() / len(self._awake)
+
+    def snapshot(self) -> Dict[int, int]:
+        return dict(self._awake)
+
+
+@dataclass
+class RunMetrics:
+    """Summary of one simulated execution."""
+
+    rounds: int
+    max_energy: int
+    average_energy: float
+    total_energy: int
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    total_message_bits: int = 0
+    max_message_bits: int = 0
+    phases: Dict[str, "RunMetrics"] = field(default_factory=dict)
+
+    @classmethod
+    def from_snapshots(
+        cls,
+        rounds: int,
+        before: Dict[int, int],
+        after: Dict[int, int],
+        nodes: Optional[Iterable[int]] = None,
+        *,
+        messages_sent: int = 0,
+        messages_delivered: int = 0,
+        messages_dropped: int = 0,
+        total_message_bits: int = 0,
+        max_message_bits: int = 0,
+    ) -> "RunMetrics":
+        """Metrics of one phase run against a shared ledger.
+
+        ``before``/``after`` are ledger snapshots; the difference is the
+        energy this phase charged. ``nodes`` restricts max/average to the
+        phase's participants (default: every node in ``after``).
+        """
+        scope = list(nodes) if nodes is not None else list(after)
+        if not scope:
+            return cls(rounds=rounds, max_energy=0, average_energy=0.0,
+                       total_energy=0,
+                       messages_sent=messages_sent,
+                       messages_delivered=messages_delivered,
+                       messages_dropped=messages_dropped,
+                       total_message_bits=total_message_bits,
+                       max_message_bits=max_message_bits)
+        spent = [after[v] - before.get(v, 0) for v in scope]
+        total = sum(spent)
+        return cls(
+            rounds=rounds,
+            max_energy=max(spent),
+            average_energy=total / len(scope),
+            total_energy=total,
+            messages_sent=messages_sent,
+            messages_delivered=messages_delivered,
+            messages_dropped=messages_dropped,
+            total_message_bits=total_message_bits,
+            max_message_bits=max_message_bits,
+        )
+
+    @classmethod
+    def from_ledger(
+        cls,
+        rounds: int,
+        ledger: EnergyLedger,
+        *,
+        messages_sent: int = 0,
+        messages_delivered: int = 0,
+        messages_dropped: int = 0,
+        total_message_bits: int = 0,
+        max_message_bits: int = 0,
+    ) -> "RunMetrics":
+        return cls(
+            rounds=rounds,
+            max_energy=ledger.max_energy(),
+            average_energy=ledger.average_energy(),
+            total_energy=ledger.total_energy(),
+            messages_sent=messages_sent,
+            messages_delivered=messages_delivered,
+            messages_dropped=messages_dropped,
+            total_message_bits=total_message_bits,
+            max_message_bits=max_message_bits,
+        )
+
+    def add_phase(self, name: str, metrics: "RunMetrics") -> None:
+        if name in self.phases:
+            raise ValueError(f"duplicate phase name {name!r}")
+        self.phases[name] = metrics
+
+    @classmethod
+    def combine_sequential(
+        cls, phases: Dict[str, "RunMetrics"], ledger: Optional[EnergyLedger] = None
+    ) -> "RunMetrics":
+        """Combine phase metrics run back-to-back on the same node set.
+
+        Rounds add up; per-node energy adds up, so the true combined maximum
+        must be read off a shared ledger when one is provided. Without a
+        ledger we fall back to summing the per-phase maxima, which is an
+        upper bound (and is exactly the bound the paper's proofs use).
+        """
+        total_rounds = sum(metrics.rounds for metrics in phases.values())
+        if ledger is not None:
+            combined = cls.from_ledger(total_rounds, ledger)
+        else:
+            combined = cls(
+                rounds=total_rounds,
+                max_energy=sum(m.max_energy for m in phases.values()),
+                average_energy=sum(m.average_energy for m in phases.values()),
+                total_energy=sum(m.total_energy for m in phases.values()),
+            )
+        for name, metrics in phases.items():
+            combined.add_phase(name, metrics)
+            combined.messages_sent += metrics.messages_sent
+            combined.messages_delivered += metrics.messages_delivered
+            combined.messages_dropped += metrics.messages_dropped
+            combined.total_message_bits += metrics.total_message_bits
+            combined.max_message_bits = max(
+                combined.max_message_bits, metrics.max_message_bits
+            )
+        return combined

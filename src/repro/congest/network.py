@@ -1,0 +1,270 @@
+"""The synchronous CONGEST-with-sleeping engine.
+
+One :class:`Network` simulates one execution of a distributed algorithm on a
+fixed undirected graph. The engine owns the global round counter and the
+:class:`~repro.congest.metrics.EnergyLedger`; node programs interact with the
+world only through their :class:`~repro.congest.program.Context`.
+
+Round structure (matching Section 1.1 of the paper):
+
+1. every node awake this round runs ``on_round`` and queues messages;
+2. messages are delivered *within the round*; messages to sleeping nodes are
+   dropped (a sleeping node "does not send or receive any messages");
+3. every awake node runs ``on_receive`` with what reached it.
+
+Each awake round charges exactly one unit of energy per awake node.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import networkx as nx
+import numpy as np
+
+from .errors import SchedulingError, SimulationLimitError
+from .message import Message, default_bit_budget, payload_bits
+from .metrics import EnergyLedger, RunMetrics
+from .program import Context, NodeProgram
+
+
+class Network:
+    """Simulate node programs on an undirected graph.
+
+    Parameters
+    ----------
+    graph:
+        The communication topology. Node labels must be hashable; they are
+        used directly as identifiers (MIS algorithms assume unique IDs).
+    programs:
+        Mapping from node to its :class:`NodeProgram` instance.
+    seed:
+        Master seed; per-node generators are spawned deterministically, so a
+        fixed seed reproduces the run bit-for-bit.
+    bit_budget:
+        CONGEST message budget ``B`` in bits; defaults to ``Θ(log n)``.
+    ledger:
+        Optional shared :class:`EnergyLedger` so that several phases can
+        accumulate into one energy account.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        programs: Dict[int, NodeProgram],
+        *,
+        seed: int = 0,
+        bit_budget: Optional[int] = None,
+        ledger: Optional[EnergyLedger] = None,
+        size_bound: Optional[int] = None,
+        trace: bool = False,
+    ):
+        if graph.number_of_nodes() == 0:
+            raise ValueError("cannot simulate an empty graph")
+        missing = [v for v in graph.nodes if v not in programs]
+        if missing:
+            raise ValueError(f"no program for nodes {missing[:5]}...")
+
+        self.graph = graph
+        self.n = size_bound if size_bound is not None else graph.number_of_nodes()
+        self.bit_budget = (
+            bit_budget if bit_budget is not None else default_bit_budget(self.n)
+        )
+        self.programs = programs
+        self.ledger = ledger if ledger is not None else EnergyLedger(graph.nodes)
+        self.round_index = -1
+
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.total_message_bits = 0
+        self.max_message_bits = 0
+
+        seed_seq = np.random.SeedSequence(seed)
+        children = seed_seq.spawn(graph.number_of_nodes())
+        self.contexts: Dict[int, Context] = {}
+        for child, node in zip(children, sorted(graph.nodes)):
+            rng = np.random.default_rng(child)
+            neighbors = tuple(sorted(graph.neighbors(node)))
+            self.contexts[node] = Context(self, node, neighbors, self.n, rng)
+
+        # Wake bookkeeping: nodes in always-awake mode run every round;
+        # scheduled nodes run only at rounds present in ``_wake_calendar``.
+        # ``_always_on`` mirrors the contexts' mode flags so each round costs
+        # O(#awake) rather than O(n).
+        self._wake_calendar: Dict[int, Set[int]] = {}
+        self._always_on: Set[int] = set(self.contexts)
+        self._started = False
+        if trace:
+            from .trace import NetworkTrace
+
+            self.trace: Optional["NetworkTrace"] = NetworkTrace()
+        else:
+            self.trace = None
+
+    # ------------------------------------------------------------------
+    # Scheduling plumbing (called from Context)
+    # ------------------------------------------------------------------
+    def _schedule_wake(self, node: int, wake_round: int) -> None:
+        self._wake_calendar.setdefault(wake_round, set()).add(node)
+
+    def _set_always_awake(self, node: int, always: bool) -> None:
+        if always:
+            self._always_on.add(node)
+        else:
+            self._always_on.discard(node)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Run every ``on_start`` callback (free local precomputation)."""
+        if self._started:
+            raise RuntimeError("network already started")
+        self._started = True
+        for node in sorted(self.graph.nodes):
+            self.programs[node].on_start(self.contexts[node])
+            if self.contexts[node]._outbox:
+                raise SchedulingError(
+                    f"node {node} tried to send during on_start"
+                )
+
+    def _awake_nodes(self) -> Set[int]:
+        awake = set(self._always_on)
+        scheduled = self._wake_calendar.pop(self.round_index, None)
+        if scheduled:
+            for node in scheduled:
+                ctx = self.contexts[node]
+                if not ctx._halted and not ctx._always_awake:
+                    awake.add(node)
+        return awake
+
+    def step(self) -> Set[int]:
+        """Run one synchronous round; return the set of awake nodes."""
+        if not self._started:
+            self.start()
+        self.round_index += 1
+        awake = self._awake_nodes()
+        if not awake:
+            if self.trace is not None:
+                self.trace.record(self.round_index, awake, 0, 0, 0)
+            return awake
+        sent_before = self.messages_sent
+        delivered_before = self.messages_delivered
+        dropped_before = self.messages_dropped
+
+        ordered = sorted(awake)
+        for node in ordered:
+            self.ledger.charge(node)
+
+        # Phase 1: computation + sending.
+        for node in ordered:
+            ctx = self.contexts[node]
+            self.programs[node].on_round(ctx)
+
+        # Phase 2: delivery (drop messages to sleeping nodes).
+        inboxes: Dict[int, List[Message]] = {node: [] for node in ordered}
+        for node in ordered:
+            ctx = self.contexts[node]
+            for receiver, payload in ctx._drain_outbox():
+                self.messages_sent += 1
+                bits = payload_bits(payload)
+                self.total_message_bits += bits
+                self.max_message_bits = max(self.max_message_bits, bits)
+                if receiver in awake and not self.contexts[receiver]._halted:
+                    inboxes[receiver].append(Message(node, payload))
+                    self.messages_delivered += 1
+                else:
+                    self.messages_dropped += 1
+
+        # Phase 3: receiving.
+        for node in ordered:
+            ctx = self.contexts[node]
+            if not ctx._halted:
+                self.programs[node].on_receive(ctx, inboxes[node])
+        if self.trace is not None:
+            self.trace.record(
+                self.round_index,
+                awake,
+                self.messages_sent - sent_before,
+                self.messages_delivered - delivered_before,
+                self.messages_dropped - dropped_before,
+            )
+        return awake
+
+    def has_pending_work(self) -> bool:
+        """True if some node may still wake up in a future round."""
+        if self._always_on:
+            return True
+        for wake_round, nodes in self._wake_calendar.items():
+            if wake_round > self.round_index and any(
+                not self.contexts[v]._halted and not self.contexts[v]._always_awake
+                for v in nodes
+            ):
+                return True
+        return False
+
+    def run(self, max_rounds: int = 1_000_000) -> RunMetrics:
+        """Run until no node will ever wake again (or ``max_rounds``)."""
+        if not self._started:
+            self.start()
+        while self.has_pending_work():
+            if self.round_index + 1 >= max_rounds:
+                raise SimulationLimitError(
+                    f"simulation exceeded {max_rounds} rounds"
+                )
+            self.step()
+        return self.metrics()
+
+    def run_rounds(self, rounds: int) -> RunMetrics:
+        """Run exactly ``rounds`` rounds (idle rounds still advance time)."""
+        if not self._started:
+            self.start()
+        for _ in range(rounds):
+            self.step()
+        return self.metrics()
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def metrics(self) -> RunMetrics:
+        return RunMetrics.from_ledger(
+            rounds=self.round_index + 1,
+            ledger=self.ledger,
+            messages_sent=self.messages_sent,
+            messages_delivered=self.messages_delivered,
+            messages_dropped=self.messages_dropped,
+            total_message_bits=self.total_message_bits,
+            max_message_bits=self.max_message_bits,
+        )
+
+    def outputs(self, key: str, default=None) -> Dict[int, object]:
+        """Collect one output field across all nodes."""
+        return {
+            node: ctx.output.get(key, default)
+            for node, ctx in self.contexts.items()
+        }
+
+
+def run_uniform_program(
+    graph: nx.Graph,
+    program_factory,
+    *,
+    seed: int = 0,
+    max_rounds: int = 1_000_000,
+    bit_budget: Optional[int] = None,
+    ledger: Optional[EnergyLedger] = None,
+    size_bound: Optional[int] = None,
+) -> Tuple[Network, RunMetrics]:
+    """Convenience: run one program class on every node of ``graph``."""
+    programs = {node: program_factory() for node in graph.nodes}
+    network = Network(
+        graph,
+        programs,
+        seed=seed,
+        bit_budget=bit_budget,
+        ledger=ledger,
+        size_bound=size_bound,
+    )
+    metrics = network.run(max_rounds=max_rounds)
+    return network, metrics

@@ -1,0 +1,171 @@
+"""Node-program API for the CONGEST-with-sleeping engine.
+
+A distributed algorithm is written as a :class:`NodeProgram` subclass; the
+engine instantiates one program per node. Programs see only local
+information: their identifier, their neighbors' identifiers, a polynomial
+bound ``n`` on the network size (standard in the model), a private random
+generator, and the messages delivered to them while awake.
+
+Sleeping semantics (Section 1.1 of the paper):
+
+* A sleeping node performs no computation and neither sends nor receives.
+  Messages addressed to it are *dropped*.
+* A node cannot be woken by another node; it wakes only at rounds it
+  scheduled for itself (or it is in the default always-awake mode).
+
+Lifecycle per node::
+
+    on_start(ctx)                 # before round 0; free local precomputation
+    while not halted:
+        if awake this round:
+            on_round(ctx)         # send messages for this round
+            on_receive(ctx, msgs) # messages delivered this round
+
+``on_start`` is deliberately free of charge: the paper lets nodes do local
+sampling and schedule computation "before the algorithm even starts"
+(Section 2.1), which costs no awake rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from .errors import (
+    DuplicateMessageError,
+    MessageTooLargeError,
+    NotANeighborError,
+    SchedulingError,
+)
+from .message import Message, payload_bits
+
+
+class Context:
+    """Per-node view of the network, handed to every program callback."""
+
+    __slots__ = (
+        "_network",
+        "node",
+        "neighbors",
+        "_neighbor_set",
+        "n",
+        "rng",
+        "output",
+        "_halted",
+        "_always_awake",
+        "_outbox",
+        "_sent_to",
+    )
+
+    def __init__(self, network, node: int, neighbors: Tuple[int, ...], n: int,
+                 rng: np.random.Generator):
+        self._network = network
+        self.node = node
+        self.neighbors = neighbors
+        self._neighbor_set = frozenset(neighbors)
+        self.n = n
+        self.rng = rng
+        self.output: Dict[str, Any] = {}
+        self._halted = False
+        self._always_awake = True
+        self._outbox: List[Tuple[int, Any]] = []
+        self._sent_to: set = set()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def degree(self) -> int:
+        return len(self.neighbors)
+
+    @property
+    def round(self) -> int:
+        """Current round index (-1 during ``on_start``)."""
+        return self._network.round_index
+
+    @property
+    def halted(self) -> bool:
+        return self._halted
+
+    # ------------------------------------------------------------------
+    # Communication
+    # ------------------------------------------------------------------
+    def send(self, neighbor: int, payload: Any = None) -> None:
+        """Send one CONGEST message to ``neighbor`` this round."""
+        if neighbor not in self._neighbor_set:
+            raise NotANeighborError(self.node, neighbor)
+        if neighbor in self._sent_to:
+            raise DuplicateMessageError(self.node, neighbor, self.round)
+        bits = payload_bits(payload)
+        if bits > self._network.bit_budget:
+            raise MessageTooLargeError(
+                self.node, neighbor, bits, self._network.bit_budget
+            )
+        self._sent_to.add(neighbor)
+        self._outbox.append((neighbor, payload))
+
+    def broadcast(self, payload: Any = None) -> None:
+        """Send the same payload to every neighbor this round."""
+        for neighbor in self.neighbors:
+            self.send(neighbor, payload)
+
+    # ------------------------------------------------------------------
+    # Sleep scheduling
+    # ------------------------------------------------------------------
+    def use_wake_schedule(self, rounds: Iterable[int]) -> None:
+        """Switch to scheduled sleeping: awake only at the given rounds.
+
+        May be called in ``on_start`` (typical: Lemma 2.5 schedules) or while
+        awake, to extend the schedule with *future* rounds.
+        """
+        self._always_awake = False
+        self._network._set_always_awake(self.node, False)
+        current = self.round
+        for wake_round in rounds:
+            if wake_round <= current:
+                raise SchedulingError(
+                    f"node {self.node} tried to schedule round {wake_round} "
+                    f"in the past (current round {current})"
+                )
+            self._network._schedule_wake(self.node, wake_round)
+
+    def wake_at(self, wake_round: int) -> None:
+        self.use_wake_schedule((wake_round,))
+
+    def stay_awake(self) -> None:
+        """Return to the default mode: awake every round until halting."""
+        if not self._halted:
+            self._always_awake = True
+            self._network._set_always_awake(self.node, True)
+
+    def halt(self) -> None:
+        """Terminate this node: it sleeps forever and charges no more energy."""
+        self._halted = True
+        self._network._set_always_awake(self.node, False)
+
+    # ------------------------------------------------------------------
+    # Engine plumbing
+    # ------------------------------------------------------------------
+    def _drain_outbox(self) -> List[Tuple[int, Any]]:
+        outbox, self._outbox = self._outbox, []
+        self._sent_to = set()
+        return outbox
+
+
+class NodeProgram:
+    """Base class for distributed node programs.
+
+    Subclasses override any of the three callbacks. State should live on the
+    program instance (``self``); the engine never shares instances between
+    nodes.
+    """
+
+    def on_start(self, ctx: Context) -> None:
+        """Free local precomputation before round 0 (no sending allowed)."""
+
+    def on_round(self, ctx: Context) -> None:
+        """Called at every awake round; use ``ctx.send``/``ctx.broadcast``."""
+
+    def on_receive(self, ctx: Context, messages: List[Message]) -> None:
+        """Called after delivery at every awake round (possibly no messages)."""

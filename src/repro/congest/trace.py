@@ -1,0 +1,91 @@
+"""Execution tracing for the CONGEST-with-sleeping engine.
+
+A :class:`NetworkTrace` records, per round, who was awake and how much was
+said — the raw material for sleep diagrams and message-complexity studies.
+Tracing is opt-in (``Network(..., trace=True)``) because recording every
+round costs memory proportional to total awake-node rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set
+
+
+@dataclass
+class RoundRecord:
+    """What happened in one engine round."""
+
+    round_index: int
+    awake: Set[int]
+    messages_sent: int
+    messages_delivered: int
+    messages_dropped: int
+
+
+@dataclass
+class NetworkTrace:
+    """Round-by-round record of one simulation."""
+
+    records: List[RoundRecord] = field(default_factory=list)
+
+    def record(self, round_index: int, awake: Set[int], sent: int,
+               delivered: int, dropped: int) -> None:
+        self.records.append(
+            RoundRecord(
+                round_index=round_index,
+                awake=set(awake),
+                messages_sent=sent,
+                messages_delivered=delivered,
+                messages_dropped=dropped,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def rounds(self) -> int:
+        return len(self.records)
+
+    def awake_counts(self) -> List[int]:
+        """Number of awake nodes per round (the 'power draw' curve)."""
+        return [len(record.awake) for record in self.records]
+
+    def wake_rounds_of(self, node: int) -> List[int]:
+        """The rounds in which ``node`` was awake."""
+        return [
+            record.round_index
+            for record in self.records
+            if node in record.awake
+        ]
+
+    def message_totals(self) -> Dict[str, int]:
+        return {
+            "sent": sum(r.messages_sent for r in self.records),
+            "delivered": sum(r.messages_delivered for r in self.records),
+            "dropped": sum(r.messages_dropped for r in self.records),
+        }
+
+    def sleep_diagram(self, nodes: Sequence[int], width: int = 72) -> str:
+        """ASCII diagram: one row per node, '#' = awake, '.' = asleep.
+
+        Long executions are downsampled to ``width`` columns; a column
+        shows '#' if the node was awake in any round of its bucket.
+        """
+        total = self.rounds
+        if total == 0:
+            return "(no rounds recorded)"
+        columns = min(width, total)
+        rows = []
+        for node in nodes:
+            awake_rounds = set(self.wake_rounds_of(node))
+            cells = []
+            for column in range(columns):
+                low = column * total // columns
+                high = max(low + 1, (column + 1) * total // columns)
+                cells.append(
+                    "#" if any(r in awake_rounds for r in range(low, high))
+                    else "."
+                )
+            rows.append(f"{node!s:>6} |{''.join(cells)}|")
+        header = f"{'node':>6} |{'round 0 .. ' + str(total - 1):{columns}.{columns}}|"
+        return "\n".join([header] + rows)

@@ -1,0 +1,41 @@
+"""The paper's algorithms: phases, compositions, and the Section 4 extension."""
+
+from .algorithm1 import algorithm1
+from .algorithm2 import algorithm2
+from .average_energy import (
+    algorithm1_constant_average_energy,
+    algorithm2_constant_average_energy,
+    run_lemma42,
+    run_sparsify,
+)
+from .config import DEFAULT_CONFIG, AlgorithmConfig
+from .phase1_alg1 import Phase1Alg1Program, run_phase1_alg1
+from .phase1_alg2 import (
+    Phase1Alg2Program,
+    run_lemma31_iteration,
+    run_phase1_alg2,
+)
+from .phase2 import Phase2Result, ball_carving, run_phase2
+from .phase3 import run_phase3
+from .phase_result import PhaseResult
+
+__all__ = [
+    "AlgorithmConfig",
+    "DEFAULT_CONFIG",
+    "Phase1Alg1Program",
+    "Phase1Alg2Program",
+    "Phase2Result",
+    "PhaseResult",
+    "algorithm1",
+    "algorithm1_constant_average_energy",
+    "algorithm2",
+    "algorithm2_constant_average_energy",
+    "ball_carving",
+    "run_lemma31_iteration",
+    "run_lemma42",
+    "run_phase1_alg1",
+    "run_phase1_alg2",
+    "run_phase2",
+    "run_phase3",
+    "run_sparsify",
+]

@@ -1,0 +1,127 @@
+"""Tunable constants for the paper's algorithms.
+
+The paper's constants are chosen to drive ``1 - n^{-c}`` success proofs at
+asymptotic ``n``; running the same code at simulation scales needs the same
+*structure* with friendlier constants. Every such scaling lives here, with
+the paper's value noted, so experiments (and ablations) can dial them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+
+def log2n(n: int) -> float:
+    return math.log2(max(2, n))
+
+
+def loglog2n(n: int) -> float:
+    return math.log2(max(2.0, log2n(n)))
+
+
+@dataclass(frozen=True)
+class AlgorithmConfig:
+    """Knobs for Algorithms 1 and 2 and the Section 4 extension."""
+
+    # ---- Phase I of Algorithm 1 (Lemma 2.1) --------------------------
+    #: rounds per iteration = round(phase1_round_factor * log2 n)
+    #: (paper: c·log n with a large constant c).
+    phase1_round_factor: float = 1.0
+    #: iterations = log2 Δ − phase1_truncation * loglog n (paper: 2).
+    phase1_truncation: float = 2.0
+    #: marking probability in iteration i is 2^i / (mark_divisor · Δ)
+    #: (paper: divisor 10).
+    phase1_mark_divisor: float = 10.0
+
+    # ---- Phase II (Lemma 2.6) ----------------------------------------
+    #: Ghaffari-2016 shattering iterations = factor * log2(Δ₂ + 2).
+    #: Calibrated so the residue genuinely shatters into small components
+    #: (factor 4 decides everything and Phase III would never run).
+    phase2_shatter_factor: float = 2.0
+    #: cluster ball radius = ceil(factor * (loglog n + 1)).
+    phase2_radius_factor: float = 1.0
+
+    # ---- Phase III (Lemmas 2.7/2.8) ----------------------------------
+    #: parallel executions K = max(2, ceil(factor * log2 n)).
+    phase3_execution_factor: float = 1.0
+    #: per-execution iterations = max(4, ceil(factor * log2(size + 2))).
+    phase3_iteration_factor: float = 1.5
+    #: Linial reduction rounds in the matching step (Algorithm 1 uses 2;
+    #: Algorithm 2 sets this to None and uses the constant target below).
+    phase3_linial_rounds: int = 2
+    #: re-runs of the parallel-execution block if no execution succeeded.
+    phase3_retries: int = 3
+
+    # ---- Phase I of Algorithm 2 (Lemma 3.1 / Corollary 3.2) ----------
+    #: degree floor below which the Δ → Δ^0.7 recursion stops:
+    #: floor = log2(n) ** alg2_floor_exponent (paper: exponent 20).
+    alg2_floor_exponent: float = 2.0
+    #: rounds per Lemma 3.1 iteration = max(4, round(factor * log2 n)).
+    alg2_round_factor: float = 1.0
+    #: tagging probability Δ^-alg2_tag_exponent (paper: 0.5).
+    alg2_tag_exponent: float = 0.5
+    #: pre-marking probability 1/(2·Δ^alg2_mark_exponent) (paper: 0.6).
+    alg2_mark_exponent: float = 0.6
+    #: recursion target degree Δ^alg2_target_exponent (paper: 0.7).
+    alg2_target_exponent: float = 0.7
+    #: end-of-iteration high-degree threshold 4·Δ^mark_exponent (paper: 4).
+    alg2_high_degree_factor: float = 4.0
+
+    # ---- Algorithm 2 Phase III trade-off (Section 3.2) ---------------
+    #: target palette for the O(log* n)-round coloring (O(1) colors;
+    #: 121 = next_prime(10·1+1)² is the Linial fixed point for Δ=10).
+    alg2_linial_target_palette: int = 121
+
+    # ---- Section 4 (constant average energy) -------------------------
+    #: Lemma 4.2 iterations = log2 Δ₂ − factor·logloglog n (paper: 100).
+    avg_truncation: float = 1.0
+    #: Lemma 4.2 rounds per iteration = ceil(factor · loglog n) (paper: C).
+    avg_round_factor: float = 3.0
+    #: failure thresholds (paper: C log log n and Δ/2^(i+1)).
+    avg_fail_factor: float = 6.0
+    #: Lemma 4.5-substitute sweep: rounds per degree-halving iteration
+    #: = max(2, ceil(factor · loglog n)).
+    sparsify_round_factor: float = 2.0
+
+    def with_overrides(self, **kwargs) -> "AlgorithmConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    # ---- Derived quantities ------------------------------------------
+    def phase1_iterations(self, n: int, delta: int) -> int:
+        if delta <= 1:
+            return 0
+        value = math.floor(
+            math.log2(delta) - self.phase1_truncation * loglog2n(n)
+        )
+        return max(0, value)
+
+    def phase1_rounds_per_iteration(self, n: int) -> int:
+        return max(1, round(self.phase1_round_factor * log2n(n)))
+
+    def alg2_degree_floor(self, n: int) -> float:
+        return log2n(n) ** self.alg2_floor_exponent
+
+    def alg2_rounds(self, n: int) -> int:
+        return max(4, round(self.alg2_round_factor * log2n(n)))
+
+    def phase2_shatter_iterations(self, n: int, delta: int) -> int:
+        return max(1, math.ceil(self.phase2_shatter_factor * math.log2(delta + 2)))
+
+    def phase2_radius(self, n: int) -> int:
+        return max(1, math.ceil(self.phase2_radius_factor * (loglog2n(n) + 1)))
+
+    def phase3_executions(self, n: int) -> int:
+        return max(2, math.ceil(self.phase3_execution_factor * log2n(n)))
+
+    def phase3_iterations(self, component_size: int) -> int:
+        return max(
+            4,
+            math.ceil(
+                self.phase3_iteration_factor * math.log2(component_size + 2)
+            ),
+        )
+
+
+DEFAULT_CONFIG = AlgorithmConfig()

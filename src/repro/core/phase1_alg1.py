@@ -1,0 +1,233 @@
+"""Phase I of Algorithm 1: low-energy regularized Luby (Lemma 2.1).
+
+Goal: compute an independent set whose removal (with its neighborhood)
+leaves a residual graph of maximum degree ``O(log² n)``, in
+``O(log Δ · log n)`` rounds with each node awake ``O(log log n)`` rounds.
+
+Structure (Section 2.1 of the paper):
+
+* **Regularized Luby** — iteration ``i`` marks nodes with probability
+  ``2^i / (10 Δ)`` for ``c·log n`` rounds; marked nodes with no marked
+  neighbor join the MIS. Degrees halve per iteration w.h.p.
+* **One-shot marking** — a node is marked at most once ever (afterwards it
+  is *spoiled*), so all marking rounds can be sampled before the algorithm
+  starts. Invariants A(i)/B(i) bound the spoiled and non-spoiled residual
+  neighbors, giving the ``O(log² n)`` residual degree after
+  ``log Δ − 2 log log n`` iterations.
+* **Awake schedules** — a sampled node wakes only at the ``O(log log n)``
+  rounds of its Lemma 2.5 overlap schedule; never-sampled nodes sleep
+  through the whole phase.
+
+Engine mapping: each algorithm round is three CONGEST sub-rounds:
+
+* sub-round 0 (*status*): earlier joiners announce; listeners learn they
+  are dominated;
+* sub-round 1 (*mark*): this round's sampled nodes announce their marks to
+  each other;
+* sub-round 2 (*join*): unopposed marked nodes join and announce.
+
+Announcing in both sub-rounds 0 and 2 is what closes the two corner cases
+of the overlap schedule (the only common round being ``r_u`` itself, or
+being ``r_v`` itself); with the paper's single third sub-round, a node
+acting at ``r_v`` could otherwise decide before its only common round with
+an earlier-acting neighbor delivered the neighbor's outcome.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+import networkx as nx
+
+from ..congest import EnergyLedger, Network, NodeProgram
+from ..graphs.properties import max_degree
+from ..schedule import schedule_for_round
+from .config import DEFAULT_CONFIG, AlgorithmConfig
+from .phase_result import PhaseResult
+
+_STATUS = 0
+_MARK = 1
+_JOIN = 2
+
+
+class Phase1Alg1Program(NodeProgram):
+    """Node program for the regularized-Luby phase."""
+
+    def __init__(
+        self,
+        iterations: int,
+        rounds_per_iteration: int,
+        delta: int,
+        mark_divisor: float,
+    ):
+        self.iterations = iterations
+        self.rounds_per_iteration = rounds_per_iteration
+        self.total_rounds = iterations * rounds_per_iteration
+        self.delta = max(1, delta)
+        self.mark_divisor = mark_divisor
+        self.marked_round: Optional[int] = None
+        self.joined = False
+        self.dominated = False
+        self.saw_marked_neighbor = False
+
+    # ------------------------------------------------------------------
+    def _sample_marked_round(self, rng) -> Optional[int]:
+        """First round with a heads, marking probability fixed per iteration.
+
+        One geometric draw per iteration instead of a coin per round: the
+        node is marked in iteration ``i`` iff a Geometric(p_i) variable
+        lands within the iteration's round budget.
+        """
+        for iteration in range(self.iterations):
+            probability = min(
+                1.0, (2.0**iteration) / (self.mark_divisor * self.delta)
+            )
+            if probability <= 0.0:
+                continue
+            gap = int(rng.geometric(probability))
+            if gap <= self.rounds_per_iteration:
+                return iteration * self.rounds_per_iteration + (gap - 1)
+        return None
+
+    def on_start(self, ctx):
+        ctx.output["joined"] = False
+        ctx.output["sampled"] = False
+        self.marked_round = self._sample_marked_round(ctx.rng)
+        if self.marked_round is None:
+            ctx.use_wake_schedule([])  # sleeps through the entire phase
+            return
+        ctx.output["sampled"] = True
+        schedule = schedule_for_round(self.total_rounds, self.marked_round)
+        wake_rounds = []
+        for algo_round in schedule:
+            wake_rounds.append(3 * algo_round + _STATUS)
+            if algo_round == self.marked_round:
+                wake_rounds.append(3 * algo_round + _MARK)
+            wake_rounds.append(3 * algo_round + _JOIN)
+        ctx.use_wake_schedule(sorted(set(wake_rounds)))
+
+    # ------------------------------------------------------------------
+    def on_round(self, ctx):
+        algo_round, sub = divmod(ctx.round, 3)
+        if sub == _STATUS:
+            if self.joined and self.marked_round < algo_round:
+                ctx.broadcast(True)
+        elif sub == _MARK:
+            if algo_round == self.marked_round and not self.dominated:
+                ctx.broadcast(True)
+        else:  # _JOIN
+            if (
+                algo_round == self.marked_round
+                and not self.dominated
+                and not self.saw_marked_neighbor
+            ):
+                self.joined = True
+                ctx.output["joined"] = True
+                ctx.broadcast(True)
+
+    def on_receive(self, ctx, messages):
+        algo_round, sub = divmod(ctx.round, 3)
+        if sub == _MARK:
+            if algo_round == self.marked_round:
+                self.saw_marked_neighbor = bool(messages)
+            return
+        # _STATUS and _JOIN sub-rounds carry join announcements.
+        if messages and not self.joined:
+            self.dominated = True
+            ctx.halt()
+
+
+def run_phase1_alg1(
+    graph: nx.Graph,
+    *,
+    seed: int = 0,
+    config: AlgorithmConfig = DEFAULT_CONFIG,
+    ledger: Optional[EnergyLedger] = None,
+    size_bound: Optional[int] = None,
+) -> PhaseResult:
+    """Run Lemma 2.1's phase on ``graph``; see :class:`PhaseResult`.
+
+    The metrics include one trailing round in which every node is awake to
+    exchange joined-status — the hand-off the paper performs at the start
+    of the (all-awake) Phase II.
+    """
+    n = size_bound if size_bound is not None else graph.number_of_nodes()
+    delta = max_degree(graph)
+    iterations = config.phase1_iterations(n, delta)
+    rounds_per_iteration = config.phase1_rounds_per_iteration(n)
+    total_rounds = iterations * rounds_per_iteration
+
+    if ledger is None:
+        ledger = EnergyLedger(graph.nodes)
+    before = ledger.snapshot()
+
+    if total_rounds == 0 or graph.number_of_nodes() == 0:
+        from ..congest.metrics import RunMetrics
+
+        metrics = RunMetrics.from_snapshots(0, before, ledger.snapshot(),
+                                            graph.nodes)
+        result = PhaseResult(
+            joined=set(),
+            dominated=set(),
+            remaining=set(graph.nodes),
+            metrics=metrics,
+            details={
+                "iterations": 0,
+                "rounds_per_iteration": 0,
+                "delta": delta,
+                "sampled_nodes": 0,
+                "residual_max_degree": delta,
+            },
+        )
+        return result
+
+    programs = {
+        node: Phase1Alg1Program(
+            iterations, rounds_per_iteration, delta, config.phase1_mark_divisor
+        )
+        for node in graph.nodes
+    }
+    network = Network(
+        graph, programs, seed=seed, ledger=ledger, size_bound=n
+    )
+    network.run_rounds(3 * total_rounds)
+
+    # Hand-off round: everyone wakes once so dominated status is known.
+    ledger.charge_many(graph.nodes, 1)
+
+    joined = {v for v, flag in network.outputs("joined").items() if flag}
+    dominated: Set[int] = set()
+    for node in joined:
+        dominated.update(graph.neighbors(node))
+    dominated -= joined
+    remaining = set(graph.nodes) - joined - dominated
+
+    from ..congest.metrics import RunMetrics
+
+    metrics = RunMetrics.from_snapshots(
+        3 * total_rounds + 1,
+        before,
+        ledger.snapshot(),
+        graph.nodes,
+        messages_sent=network.messages_sent,
+        messages_delivered=network.messages_delivered,
+        messages_dropped=network.messages_dropped,
+        total_message_bits=network.total_message_bits,
+        max_message_bits=network.max_message_bits,
+    )
+    sampled = sum(1 for v, f in network.outputs("sampled").items() if f)
+    result = PhaseResult(
+        joined=joined,
+        dominated=dominated,
+        remaining=remaining,
+        metrics=metrics,
+        details={
+            "iterations": iterations,
+            "rounds_per_iteration": rounds_per_iteration,
+            "delta": delta,
+            "sampled_nodes": sampled,
+            "residual_max_degree": max_degree(graph.subgraph(remaining)),
+        },
+    )
+    result.check_partition(set(graph.nodes))
+    return result

@@ -1,0 +1,376 @@
+"""Phase I of Algorithm 2: degree reduction Δ → Δ^0.7 (Lemma 3.1, Cor 3.2).
+
+One iteration, on a graph of maximum degree Δ (paper: ``Δ = Ω(log²⁰ n)``):
+
+* **Two one-shot samplings**, both fixed before the iteration starts, so
+  each node acts in at most one round ``r_v`` and awake schedules apply:
+
+  - type (A) *tagging* at rate ``Δ^-0.5`` per round — tagged nodes announce
+    themselves so this round's pre-marked neighbors can estimate degrees;
+  - type (B) *pre-marking* at rate ``1/(2·Δ^0.6)`` per round.
+
+* **Degree estimation** — a node pre-marked in round ``i`` counts tagged
+  neighbors ``A_v`` and estimates ``d̃eg(v) = Δ^0.5 · A_v``; it then
+  re-samples itself with probability ``min(1, 2Δ^0.6 / (5·d̃eg))``,
+  emulating a ``min(1/(2Δ^0.6), 1/(5·d̃eg))`` marking rate.
+
+* **Conflict rule** — adjacent marked nodes: the lower estimated degree
+  unmarks (ties unmark both); surviving marked nodes join the MIS.
+
+* **Final sweep** — after the sampling rounds, every active node counts its
+  active non-spoiled neighbors exactly; nodes above ``4·Δ^0.6`` with no
+  above-threshold neighbor join. With high probability no two
+  above-threshold nodes are adjacent (Corollary 3.9), so the residual
+  degree falls to ``≤ 8·Δ^0.6 ≪ Δ^0.7``.
+
+Engine mapping: four sub-rounds per round (status / tags / marks / joins),
+then a four-round all-active end block (status / counts / high flags /
+final joins). A sampled node is awake at its Lemma 2.5 schedule rounds plus
+the end block; an unsampled node only at the end block.
+
+Scaled constant (documented in DESIGN.md): the paper runs ``c·log n``
+sampling rounds, affordable because ``Δ ≥ log²⁰ n`` keeps the spoiling rate
+``R·Δ^-0.5`` negligible. Below that astronomic floor the same ``R`` would
+spoil everything, so we cap ``R ≤ 4·Δ^0.1`` — the cap is inactive in the
+paper's regime (there ``4Δ^0.1 ≥ 4 log² n ≥ log n``) and binding only at
+simulation scales.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Set
+
+import networkx as nx
+
+from ..congest import EnergyLedger, Network, NodeProgram
+from ..congest.metrics import RunMetrics
+from ..graphs.properties import max_degree
+from ..schedule import schedule_for_round
+from .config import DEFAULT_CONFIG, AlgorithmConfig
+from .phase3 import _derive_seed
+from .phase_result import PhaseResult
+
+_STATUS = 0
+_TAG = 1
+_MARK = 2
+_JOIN = 3
+
+
+def sampling_rounds(n: int, delta: int, config: AlgorithmConfig) -> int:
+    """Per-iteration sampling rounds R (the paper's c·log n, capped)."""
+    base = config.alg2_rounds(n)
+    cap = max(4, math.ceil(4.0 * delta**0.1))
+    return min(base, cap)
+
+
+class Phase1Alg2Program(NodeProgram):
+    """Node program for one Lemma 3.1 iteration with parameter ``delta``."""
+
+    def __init__(self, delta: int, rounds: int, config: AlgorithmConfig):
+        self.delta = max(2, delta)
+        self.rounds = rounds
+        self.config = config
+        self.tag_probability = min(
+            1.0, self.delta ** (-config.alg2_tag_exponent)
+        )
+        self.premark_probability = min(
+            1.0, 1.0 / (2.0 * self.delta**config.alg2_mark_exponent)
+        )
+        self.high_threshold = (
+            config.alg2_high_degree_factor
+            * self.delta**config.alg2_mark_exponent
+        )
+        # Sampling outcomes (filled in on_start).
+        self.tag_round: Optional[int] = None
+        self.premark_round: Optional[int] = None
+        self.action_round: Optional[int] = None
+        # Execution state.
+        self.joined = False
+        self.join_round: Optional[int] = None
+        self.dominated = False
+        self.tagged_neighbors = 0
+        self.marked = False
+        self.estimate = 0.0
+        self.competitors: list = []
+        self.active_nonspoiled = 0
+        self.high = False
+        self.saw_high_neighbor = False
+
+    # ------------------------------------------------------------------
+    def _first_heads(self, rng, probability: float) -> Optional[int]:
+        if probability <= 0.0:
+            return None
+        gap = int(rng.geometric(min(1.0, probability)))
+        return gap - 1 if gap <= self.rounds else None
+
+    @property
+    def spoiled(self) -> bool:
+        return self.action_round is not None
+
+    def on_start(self, ctx):
+        ctx.output["joined"] = False
+        ctx.output["sampled"] = False
+        self.tag_round = self._first_heads(ctx.rng, self.tag_probability)
+        self.premark_round = self._first_heads(
+            ctx.rng, self.premark_probability
+        )
+        candidates = [
+            r for r in (self.tag_round, self.premark_round) if r is not None
+        ]
+        self.action_round = min(candidates) if candidates else None
+        # A later sampling of the other type never happens (the node is
+        # spoiled after its first action round).
+        if self.tag_round != self.action_round:
+            self.tag_round = None
+        if self.premark_round != self.action_round:
+            self.premark_round = None
+
+        wake = set()
+        if self.action_round is not None:
+            ctx.output["sampled"] = True
+            for entry in schedule_for_round(self.rounds, self.action_round):
+                wake.add(4 * entry + _STATUS)
+                wake.add(4 * entry + _JOIN)
+            wake.add(4 * self.action_round + _TAG)
+            wake.add(4 * self.action_round + _MARK)
+        # End block: every node, sampled or not.
+        end = 4 * self.rounds
+        wake.update((end, end + 1, end + 2, end + 3))
+        ctx.use_wake_schedule(sorted(wake))
+
+    # ------------------------------------------------------------------
+    def on_round(self, ctx):
+        if ctx.round >= 4 * self.rounds:
+            self._end_block_round(ctx)
+            return
+        algo_round, sub = divmod(ctx.round, 4)
+        if sub == _STATUS:
+            if self.joined and self.join_round < algo_round:
+                ctx.broadcast(True)
+        elif sub == _TAG:
+            if algo_round == self.tag_round and not self.dominated:
+                ctx.broadcast(True)
+        elif sub == _MARK:
+            if algo_round == self.premark_round and not self.dominated:
+                self._decide_marking(ctx)
+        else:  # _JOIN
+            if (
+                algo_round == self.premark_round
+                and self.marked
+                and not self.dominated
+            ):
+                mine = self.tagged_neighbors
+                if all(theirs < mine for theirs in self.competitors):
+                    self.joined = True
+                    self.join_round = algo_round
+                    ctx.output["joined"] = True
+                    ctx.broadcast(True)
+
+    def _decide_marking(self, ctx):
+        self.estimate = (
+            self.delta**self.config.alg2_tag_exponent * self.tagged_neighbors
+        )
+        if self.estimate <= 0:
+            probability = 1.0
+        else:
+            probability = min(
+                1.0,
+                (2.0 * self.delta**self.config.alg2_mark_exponent)
+                / (5.0 * self.estimate),
+            )
+        self.marked = bool(ctx.rng.random() < probability)
+        if self.marked:
+            # The count A_v suffices for neighbors to reconstruct the
+            # estimate; it is an integer <= n, hence O(log n) bits.
+            ctx.broadcast(self.tagged_neighbors)
+
+    def on_receive(self, ctx, messages):
+        if ctx.round >= 4 * self.rounds:
+            self._end_block_receive(ctx, messages)
+            return
+        algo_round, sub = divmod(ctx.round, 4)
+        if sub == _TAG:
+            if algo_round == self.premark_round:
+                self.tagged_neighbors = len(messages)
+        elif sub == _MARK:
+            if algo_round == self.premark_round and self.marked:
+                self.competitors = [m.payload for m in messages]
+        else:  # _STATUS or _JOIN carry join announcements
+            if messages and not self.joined:
+                self.dominated = True
+
+    # ------------------------------------------------------------------
+    # End block: status / exact counts / high flags / final joins.
+    # ------------------------------------------------------------------
+    def _end_block_round(self, ctx):
+        step = ctx.round - 4 * self.rounds
+        if step == 0:
+            if self.joined:
+                ctx.broadcast(True)
+        elif step == 1:
+            if not self.joined and not self.dominated:
+                ctx.broadcast(bool(self.spoiled))
+        elif step == 2:
+            if not self.joined and not self.dominated:
+                self.high = self.active_nonspoiled > self.high_threshold
+                if self.high:
+                    ctx.broadcast(True)
+        else:  # step == 3
+            if (
+                not self.joined
+                and not self.dominated
+                and self.high
+                and not self.saw_high_neighbor
+            ):
+                self.joined = True
+                ctx.output["joined"] = True
+                ctx.broadcast(True)
+
+    def _end_block_receive(self, ctx, messages):
+        step = ctx.round - 4 * self.rounds
+        if step == 0:
+            if messages and not self.joined:
+                self.dominated = True
+                ctx.halt()  # skips the rest of the end block
+        elif step == 1:
+            self.active_nonspoiled = sum(
+                1 for m in messages if m.payload is False
+            )
+        elif step == 2:
+            self.saw_high_neighbor = bool(messages)
+        else:
+            if messages and not self.joined:
+                self.dominated = True
+            ctx.output["joined"] = self.joined
+            ctx.halt()
+
+
+def run_lemma31_iteration(
+    graph: nx.Graph,
+    delta: int,
+    *,
+    seed: int = 0,
+    config: AlgorithmConfig = DEFAULT_CONFIG,
+    ledger: Optional[EnergyLedger] = None,
+    size_bound: Optional[int] = None,
+) -> PhaseResult:
+    """One Lemma 3.1 iteration on ``graph`` with degree parameter ``delta``."""
+    n = size_bound if size_bound is not None else graph.number_of_nodes()
+    if ledger is None:
+        ledger = EnergyLedger(graph.nodes)
+    before = ledger.snapshot()
+    rounds = sampling_rounds(n, delta, config)
+    programs = {
+        node: Phase1Alg2Program(delta, rounds, config) for node in graph.nodes
+    }
+    network = Network(graph, programs, seed=seed, ledger=ledger, size_bound=n)
+    network.run_rounds(4 * rounds + 4)
+
+    joined = {v for v, flag in network.outputs("joined").items() if flag}
+    dominated: Set[int] = set()
+    for node in joined:
+        dominated.update(graph.neighbors(node))
+    dominated -= joined
+    remaining = set(graph.nodes) - joined - dominated
+
+    metrics = RunMetrics.from_snapshots(
+        4 * rounds + 4,
+        before,
+        ledger.snapshot(),
+        graph.nodes,
+        messages_sent=network.messages_sent,
+        messages_delivered=network.messages_delivered,
+        messages_dropped=network.messages_dropped,
+        total_message_bits=network.total_message_bits,
+        max_message_bits=network.max_message_bits,
+    )
+    sampled = sum(1 for v, f in network.outputs("sampled").items() if f)
+    result = PhaseResult(
+        joined=joined,
+        dominated=dominated,
+        remaining=remaining,
+        metrics=metrics,
+        details={
+            "delta": delta,
+            "rounds": rounds,
+            "sampled_nodes": sampled,
+            "residual_max_degree": max_degree(graph.subgraph(remaining)),
+        },
+    )
+    result.check_partition(set(graph.nodes))
+    return result
+
+
+def run_phase1_alg2(
+    graph: nx.Graph,
+    *,
+    seed: int = 0,
+    config: AlgorithmConfig = DEFAULT_CONFIG,
+    ledger: Optional[EnergyLedger] = None,
+    size_bound: Optional[int] = None,
+) -> PhaseResult:
+    """Corollary 3.2: iterate Lemma 3.1 until the degree falls to the floor.
+
+    Runs ``O(log log Δ)`` iterations, each contracting the degree parameter
+    ``Δ → Δ^0.7``, stopping at ``Δ <= polylog(n)`` (scaled floor; the paper
+    uses ``log²⁰ n``).
+    """
+    n = size_bound if size_bound is not None else graph.number_of_nodes()
+    if ledger is None:
+        ledger = EnergyLedger(graph.nodes)
+    before = ledger.snapshot()
+
+    floor = config.alg2_degree_floor(n)
+    joined: Set[int] = set()
+    dominated: Set[int] = set()
+    current = graph
+    delta = max_degree(graph)
+    total_rounds = 0
+    iteration_details = []
+    failures = 0
+    iteration = 0
+    while delta > floor and current.number_of_nodes() > 0:
+        iteration += 1
+        if iteration > 64:
+            raise RuntimeError("Corollary 3.2 recursion failed to converge")
+        step = run_lemma31_iteration(
+            current,
+            delta,
+            seed=_derive_seed(seed, iteration),
+            config=config,
+            ledger=ledger,
+            size_bound=n,
+        )
+        joined |= step.joined
+        dominated |= step.dominated
+        total_rounds += step.metrics.rounds
+        iteration_details.append(step.details)
+        current = current.subgraph(step.remaining).copy()
+        target = max(1, math.ceil(delta**config.alg2_target_exponent))
+        actual = max_degree(current)
+        if actual > target:
+            failures += 1  # low-probability event; fall back to the truth
+            delta = actual
+        else:
+            delta = target
+
+    metrics = RunMetrics.from_snapshots(
+        total_rounds, before, ledger.snapshot(), graph.nodes
+    )
+    result = PhaseResult(
+        joined=joined,
+        dominated=dominated,
+        remaining=set(current.nodes),
+        metrics=metrics,
+        details={
+            "iterations": iteration,
+            "degree_floor": floor,
+            "final_delta": delta,
+            "contraction_failures": failures,
+            "per_iteration": iteration_details,
+            "residual_max_degree": max_degree(current),
+        },
+    )
+    result.check_partition(set(graph.nodes))
+    return result

@@ -1,0 +1,228 @@
+"""Phase III: finishing the small shattered components (Lemma 2.7).
+
+Each component left by Phase II has ``poly(log n)`` nodes grouped into
+``O(log n / log log n)`` clusters of diameter ``O(log log n)``. Per
+component (all components run in parallel):
+
+1. **Merge** all clusters into one, with a rooted spanning tree of diameter
+   ``O(log n)`` (Lemma 2.8; see :mod:`repro.cluster.merge`).
+2. **Parallel executions** — run ``Θ(log n)`` independent executions of
+   Ghaffari's 1-bit MIS algorithm simultaneously (one CONGEST message carries
+   one bit per execution) for ``O(log log n)`` iterations each.
+3. **Success selection** — every node checks each execution locally (it is
+   happy iff it joined with no joining neighbor, or it has a joining
+   neighbor); a convergecast-AND per execution tells the root which
+   executions decided every node, and one broadcast announces the first
+   successful execution. Its output is the component's MIS.
+
+With probability ``1 - 1/poly(n)`` some execution succeeds; if none does
+(possible at simulation scales), the block reruns with fresh randomness up
+to ``config.phase3_retries`` times, charging its rounds honestly; a
+component that still fails leaves its undecided nodes in ``remaining``
+(and the failure is reported in the details).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..baselines.ghaffari import ACTIVE, JOINED, GhaffariProgram
+from ..cluster import Choreography, ClusterState, merge_component_clusters
+from ..congest import EnergyLedger, Network
+from ..congest.metrics import RunMetrics
+from .config import DEFAULT_CONFIG, AlgorithmConfig
+from .phase_result import PhaseResult
+
+
+def _derive_seed(*parts: int) -> int:
+    return int(np.random.SeedSequence(list(parts)).generate_state(1)[0])
+
+
+def _run_executions(
+    state: ClusterState,
+    executions: int,
+    iterations: int,
+    seed: int,
+    ledger: EnergyLedger,
+    size_bound: int,
+) -> Tuple[Dict[int, GhaffariProgram], int]:
+    """One block of parallel Ghaffari executions on a component."""
+    programs = {
+        node: GhaffariProgram(iterations=iterations, executions=executions)
+        for node in state.graph.nodes
+    }
+    network = Network(
+        state.graph, programs, seed=seed, ledger=ledger, size_bound=size_bound
+    )
+    metrics = network.run(max_rounds=10 * iterations + 16)
+    return programs, metrics.rounds
+
+
+def _successful_executions(
+    programs: Dict[int, GhaffariProgram], executions: int
+) -> List[int]:
+    """Executions in which every node of the component is decided."""
+    return [
+        e
+        for e in range(executions)
+        if all(program.status[e] != ACTIVE for program in programs.values())
+    ]
+
+
+def run_phase3(
+    components: List[ClusterState],
+    *,
+    seed: int = 0,
+    config: AlgorithmConfig = DEFAULT_CONFIG,
+    ledger: Optional[EnergyLedger] = None,
+    size_bound: int,
+    variant: str = "alg1",
+) -> PhaseResult:
+    """Run Lemma 2.7 on every component (in parallel; rounds = the maximum).
+
+    ``variant`` selects the finishing strategy:
+
+    * ``"alg1"`` — two Linial rounds in the matching step (Section 2.3);
+    * ``"alg2"`` — constant palette via ``O(log* n)`` Linial rounds
+      (Section 3.2 / [BM21a]);
+    * ``"local"`` — the LOCAL-model shortcut the paper mentions before
+      introducing the parallel executions: with unbounded messages, one
+      convergecast ships the whole component topology to the root, which
+      solves the MIS locally and broadcasts the answer. No randomness, no
+      failure probability; only meaningful outside CONGEST.
+    """
+    if variant not in ("alg1", "alg2", "local"):
+        raise ValueError(f"unknown variant {variant!r}")
+    all_nodes: Set[int] = set()
+    for state in components:
+        all_nodes |= set(state.graph.nodes)
+    if ledger is None and all_nodes:
+        ledger = EnergyLedger(all_nodes)
+
+    if not all_nodes:
+        empty = RunMetrics(rounds=0, max_energy=0, average_energy=0.0,
+                           total_energy=0)
+        return PhaseResult(
+            joined=set(), dominated=set(), remaining=set(), metrics=empty,
+            details={"components": 0, "failures": 0},
+        )
+
+    before = ledger.snapshot()
+    executions = config.phase3_executions(size_bound)
+    if variant == "alg2":
+        linial_kwargs = dict(
+            linial_rounds=None,
+            linial_target_palette=config.alg2_linial_target_palette,
+        )
+    else:
+        linial_kwargs = dict(
+            linial_rounds=config.phase3_linial_rounds,
+            linial_target_palette=None,
+        )
+
+    joined: Set[int] = set()
+    remaining: Set[int] = set()
+    max_component_rounds = 0
+    failures = 0
+    merge_iterations_max = 0
+    tree_height_max = 0
+    messages = {"sent": 0, "delivered": 0, "dropped": 0, "bits": 0, "max_bits": 0}
+
+    for state in components:
+        component_nodes = sorted(state.graph.nodes)
+        component_id = component_nodes[0]
+        choreography = Choreography(ledger)
+
+        if state.cluster_count > 1:
+            tree, merge_report = merge_component_clusters(
+                state, choreography, **linial_kwargs
+            )
+            merge_iterations_max = max(
+                merge_iterations_max, merge_report.iterations
+            )
+        else:
+            tree = next(iter(state.trees.values()))
+        tree_height_max = max(tree_height_max, tree.height)
+
+        if variant == "local":
+            # LOCAL shortcut: topology up, solution down; two tree ops.
+            from ..baselines.sequential import greedy_mis
+
+            allotment = tree.height + 2
+            choreography.convergecast(tree, allotment)
+            choreography.broadcast(tree, allotment)
+            joined |= greedy_mis(state.graph)
+            max_component_rounds = max(
+                max_component_rounds, choreography.clock
+            )
+            continue
+
+        iterations = config.phase3_iterations(len(component_nodes))
+        engine_rounds = 0
+        winner: Optional[int] = None
+        programs: Dict[int, GhaffariProgram] = {}
+        for attempt in range(config.phase3_retries + 1):
+            block_seed = _derive_seed(seed, component_id, attempt)
+            programs, rounds = _run_executions(
+                state, executions, iterations, block_seed, ledger, size_bound
+            )
+            engine_rounds += rounds
+            # Local success checks (already known from received join bits),
+            # then a convergecast-AND per execution and one broadcast of the
+            # chosen execution index.
+            choreography.exchange(component_nodes)
+            allotment = tree.height + 2
+            choreography.convergecast(tree, allotment)
+            choreography.broadcast(tree, allotment)
+            successful = _successful_executions(programs, executions)
+            if successful:
+                winner = successful[0]
+                break
+
+        if winner is None:
+            failures += 1
+            undecided = {
+                node
+                for node, program in programs.items()
+                if program.status[0] == ACTIVE
+            }
+            joined |= {
+                node
+                for node, program in programs.items()
+                if program.status[0] == JOINED
+            }
+            remaining |= undecided
+        else:
+            joined |= {
+                node
+                for node, program in programs.items()
+                if program.status[winner] == JOINED
+            }
+        max_component_rounds = max(
+            max_component_rounds, choreography.clock + engine_rounds
+        )
+
+    dominated = all_nodes - joined - remaining
+    metrics = RunMetrics.from_snapshots(
+        max_component_rounds,
+        before,
+        ledger.snapshot(),
+        all_nodes,
+    )
+    result = PhaseResult(
+        joined=joined,
+        dominated=dominated,
+        remaining=remaining,
+        metrics=metrics,
+        details={
+            "components": len(components),
+            "executions": executions,
+            "failures": failures,
+            "merge_iterations_max": merge_iterations_max,
+            "tree_height_max": tree_height_max,
+        },
+    )
+    result.check_partition(all_nodes)
+    return result

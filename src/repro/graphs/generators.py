@@ -1,0 +1,213 @@
+"""Graph workload generators for all experiments.
+
+Every generator returns a :class:`networkx.Graph` whose nodes are the
+integers ``0 .. n-1`` (MIS algorithms assume unique comparable identifiers),
+and is deterministic in its ``seed``.
+
+The families mirror the settings the paper targets:
+
+* ``gnp`` / ``gnp_expected_degree`` — the generic dense/sparse random graphs
+  used for scaling sweeps;
+* ``random_geometric`` — the wireless sensor-network motivation from the
+  introduction (energy matters because nodes run on batteries);
+* ``random_regular`` — controlled maximum degree Δ, used for the
+  Lemma 3.1/3.4 experiments;
+* ``barabasi_albert`` — heavy-tailed degrees, stressing the degree-reduction
+  phases;
+* structured families (grids, trees, stars, cliques, paths, caterpillars)
+  — adversarial shapes for correctness and property tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Optional
+
+import networkx as nx
+import numpy as np
+
+
+def _relabel(graph: nx.Graph) -> nx.Graph:
+    """Relabel nodes to 0..n-1 preserving determinism."""
+    mapping = {node: index for index, node in enumerate(sorted(graph.nodes, key=str))}
+    return nx.relabel_nodes(graph, mapping, copy=True)
+
+
+def _check_n(n: int) -> None:
+    if n < 1:
+        raise ValueError(f"graph size must be positive, got n={n}")
+
+
+def empty_graph(n: int) -> nx.Graph:
+    """n isolated nodes (every node joins any MIS)."""
+    _check_n(n)
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    return graph
+
+
+def path(n: int) -> nx.Graph:
+    _check_n(n)
+    return nx.path_graph(n)
+
+
+def cycle(n: int) -> nx.Graph:
+    _check_n(n)
+    if n < 3:
+        raise ValueError("cycle needs at least 3 nodes")
+    return nx.cycle_graph(n)
+
+
+def star(n: int) -> nx.Graph:
+    """Star with one hub and n-1 leaves (max degree n-1)."""
+    _check_n(n)
+    return nx.star_graph(n - 1)
+
+
+def clique(n: int) -> nx.Graph:
+    _check_n(n)
+    return nx.complete_graph(n)
+
+
+def grid_2d(rows: int, cols: int) -> nx.Graph:
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    return _relabel(nx.grid_2d_graph(rows, cols))
+
+
+def balanced_tree(branching: int, height: int) -> nx.Graph:
+    if branching < 1 or height < 0:
+        raise ValueError("invalid tree parameters")
+    return _relabel(nx.balanced_tree(branching, height))
+
+
+def caterpillar(spine: int, legs_per_node: int) -> nx.Graph:
+    """A path of ``spine`` nodes, each with ``legs_per_node`` pendant leaves."""
+    if spine < 1 or legs_per_node < 0:
+        raise ValueError("invalid caterpillar parameters")
+    graph = nx.path_graph(spine)
+    next_id = spine
+    for backbone in range(spine):
+        for _ in range(legs_per_node):
+            graph.add_edge(backbone, next_id)
+            next_id += 1
+    return graph
+
+
+def gnp(n: int, p: float, seed: int = 0) -> nx.Graph:
+    """Erdős–Rényi G(n, p)."""
+    _check_n(n)
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"edge probability must be in [0, 1], got {p}")
+    if p == 1.0:
+        return clique(n)
+    if 1.0 - p == 1.0:
+        # p is zero or so small that networkx's geometric-skipping sampler
+        # would divide by log(1-p) == 0; such graphs are empty in practice.
+        return empty_graph(n)
+    graph = nx.fast_gnp_random_graph(n, p, seed=seed)
+    graph.add_nodes_from(range(n))
+    return graph
+
+
+def gnp_expected_degree(n: int, degree: float, seed: int = 0) -> nx.Graph:
+    """G(n, p) with p chosen so the expected degree is ``degree``."""
+    _check_n(n)
+    if degree < 0:
+        raise ValueError(f"expected degree must be non-negative, got {degree}")
+    if n == 1:
+        return empty_graph(1)
+    p = min(1.0, degree / (n - 1))
+    return gnp(n, p, seed=seed)
+
+
+def random_regular(n: int, degree: int, seed: int = 0) -> nx.Graph:
+    """Random ``degree``-regular graph (``n * degree`` must be even)."""
+    _check_n(n)
+    if degree < 0 or degree >= n:
+        raise ValueError(f"degree must be in [0, n), got {degree}")
+    if (n * degree) % 2 != 0:
+        raise ValueError("n * degree must be even for a regular graph")
+    return nx.random_regular_graph(degree, n, seed=seed)
+
+
+def random_geometric(n: int, radius: Optional[float] = None, seed: int = 0) -> nx.Graph:
+    """Random geometric graph on the unit square (sensor-network workload).
+
+    When ``radius`` is omitted we pick the standard connectivity-threshold
+    scale ``sqrt(2 ln n / n)``, which makes the graph connected w.h.p. while
+    keeping degrees ``Θ(log n)``.
+    """
+    _check_n(n)
+    if radius is None:
+        radius = float(np.sqrt(2.0 * np.log(max(2, n)) / n))
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    graph = nx.random_geometric_graph(n, radius, seed=seed)
+    graph.add_nodes_from(range(n))
+    return graph
+
+
+def barabasi_albert(n: int, attachment: int = 3, seed: int = 0) -> nx.Graph:
+    """Preferential-attachment graph with heavy-tailed degrees."""
+    _check_n(n)
+    if n <= attachment:
+        return clique(n)
+    return nx.barabasi_albert_graph(n, attachment, seed=seed)
+
+
+def disjoint_cliques(count: int, size: int) -> nx.Graph:
+    """``count`` disjoint cliques of ``size`` nodes (small-component stress)."""
+    if count < 1 or size < 1:
+        raise ValueError("invalid clique-union parameters")
+    graph = nx.Graph()
+    for index in range(count):
+        offset = index * size
+        graph.add_nodes_from(range(offset, offset + size))
+        for u, v in itertools.combinations(range(offset, offset + size), 2):
+            graph.add_edge(u, v)
+    return graph
+
+
+def planted_max_degree(n: int, delta: int, seed: int = 0) -> nx.Graph:
+    """Graph with max degree exactly ``delta``: a random near-regular graph.
+
+    Used by the Lemma 3.1 / 3.4 experiments, which need a controlled Δ.
+    """
+    _check_n(n)
+    if delta >= n:
+        raise ValueError(f"delta={delta} must be < n={n}")
+    degree = delta
+    if (n * degree) % 2 != 0:
+        degree -= 1
+    if degree <= 0:
+        return empty_graph(n)
+    return random_regular(n, degree, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Family registry for sweeps: name -> fn(n, seed) -> graph
+# ----------------------------------------------------------------------
+GraphFactory = Callable[[int, int], nx.Graph]
+
+FAMILIES: Dict[str, GraphFactory] = {
+    "gnp_sqrt_degree": lambda n, seed: gnp_expected_degree(
+        n, max(1.0, float(np.sqrt(n))), seed=seed
+    ),
+    "gnp_log_degree": lambda n, seed: gnp_expected_degree(
+        n, max(1.0, float(np.log2(max(2, n)))), seed=seed
+    ),
+    "random_regular_16": lambda n, seed: random_regular(n, min(16, n - 1), seed=seed),
+    "geometric": lambda n, seed: random_geometric(n, seed=seed),
+    "barabasi_albert": lambda n, seed: barabasi_albert(n, 3, seed=seed),
+    "grid": lambda n, seed: grid_2d(
+        max(1, int(np.sqrt(n))), max(1, int(np.sqrt(n)))
+    ),
+}
+
+
+def make_family(name: str, n: int, seed: int = 0) -> nx.Graph:
+    """Instantiate a registered family by name."""
+    if name not in FAMILIES:
+        raise KeyError(f"unknown graph family {name!r}; have {sorted(FAMILIES)}")
+    return FAMILIES[name](n, seed)

@@ -1,0 +1,21 @@
+"""Experiment harness: runner, sweeps, tables, and the E1–E11/A1–A3 registry."""
+
+from .experiments import DESCRIPTIONS, REGISTRY, run_all, run_experiment
+from .runner import ALGORITHMS, measure, run_algorithm
+from .sweep import SweepPoint, series, sweep
+from .tables import format_table, section
+
+__all__ = [
+    "ALGORITHMS",
+    "DESCRIPTIONS",
+    "REGISTRY",
+    "SweepPoint",
+    "format_table",
+    "measure",
+    "run_algorithm",
+    "run_all",
+    "run_experiment",
+    "section",
+    "series",
+    "sweep",
+]

@@ -1,0 +1,43 @@
+"""CLI: ``python -m repro.harness --experiment E1`` or ``--all``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import DESCRIPTIONS, REGISTRY, run_all, run_experiment
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.harness",
+        description="Reproduce the paper's theorem-derived experiments.",
+    )
+    parser.add_argument(
+        "--experiment", "-e",
+        help="experiment id (E1..E11, A1..A3); see --list",
+    )
+    parser.add_argument("--all", action="store_true", help="run everything")
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller sizes and fewer seeds"
+    )
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in sorted(REGISTRY):
+            print(f"{name}: {DESCRIPTIONS[name]}")
+        return 0
+    if args.all:
+        print(run_all(quick=args.quick))
+        return 0
+    if args.experiment:
+        report, _ = run_experiment(args.experiment, quick=args.quick)
+        print(report)
+        return 0
+    parser.print_help()
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""Uniform runner over every MIS algorithm in the package."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import networkx as nx
+
+from ..analysis import verify_mis
+from ..baselines import ghaffari_mis, luby_mis, regularized_luby_mis
+from ..core import (
+    algorithm1,
+    algorithm1_constant_average_energy,
+    algorithm2,
+    algorithm2_constant_average_energy,
+)
+from ..result import MISResult
+
+ALGORITHMS: Dict[str, Callable[..., MISResult]] = {
+    "luby": luby_mis,
+    "regularized_luby": regularized_luby_mis,
+    "ghaffari2016": ghaffari_mis,
+    "algorithm1": algorithm1,
+    "algorithm2": algorithm2,
+    "algorithm1_avg": algorithm1_constant_average_energy,
+    "algorithm2_avg": algorithm2_constant_average_energy,
+}
+
+
+def run_algorithm(name: str, graph: nx.Graph, seed: int = 0) -> MISResult:
+    """Run one registered algorithm by name."""
+    if name not in ALGORITHMS:
+        raise KeyError(f"unknown algorithm {name!r}; have {sorted(ALGORITHMS)}")
+    return ALGORITHMS[name](graph, seed)
+
+
+def measure(name: str, graph: nx.Graph, seed: int = 0) -> Dict[str, float]:
+    """Run an algorithm and flatten the interesting numbers into one dict.
+
+    Keys: ``rounds``, ``max_energy``, ``average_energy``, ``mis_size``,
+    ``independent``, ``maximal`` (booleans as 0/1 so trials aggregate).
+    """
+    result = run_algorithm(name, graph, seed=seed)
+    report = verify_mis(graph, result.mis)
+    return {
+        "rounds": float(result.rounds),
+        "max_energy": float(result.max_energy),
+        "average_energy": float(result.average_energy),
+        "mis_size": float(len(result.mis)),
+        "independent": 1.0 if report.independent else 0.0,
+        "maximal": 1.0 if report.maximal else 0.0,
+    }

@@ -1,0 +1,71 @@
+"""Parameter sweeps over n, graph family, and seeds."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..analysis import Summary, aggregate_trials
+from ..graphs import make_family
+from .runner import measure
+
+
+@dataclass
+class SweepPoint:
+    """Aggregated measurements for one (algorithm, family, n) cell."""
+
+    algorithm: str
+    family: str
+    n: int
+    seeds: int
+    summaries: Dict[str, Summary] = field(default_factory=dict)
+
+    def mean(self, key: str) -> float:
+        return self.summaries[key].mean
+
+
+def sweep(
+    algorithms: Sequence[str],
+    sizes: Sequence[int],
+    *,
+    family: str = "gnp_log_degree",
+    seeds: int = 3,
+    seed_base: int = 0,
+) -> List[SweepPoint]:
+    """Run every algorithm on every size with several seeds.
+
+    Graphs are regenerated per seed (both the topology seed and the
+    algorithm seed vary), so the summaries capture full run-to-run
+    variance.
+    """
+    if not algorithms or not sizes or seeds < 1:
+        raise ValueError("need at least one algorithm, size, and seed")
+    points: List[SweepPoint] = []
+    for algorithm in algorithms:
+        for n in sizes:
+            trials = []
+            for trial in range(seeds):
+                seed = seed_base + trial
+                graph = make_family(family, n, seed=seed)
+                trials.append(measure(algorithm, graph, seed=seed))
+            points.append(
+                SweepPoint(
+                    algorithm=algorithm,
+                    family=family,
+                    n=n,
+                    seeds=seeds,
+                    summaries=aggregate_trials(trials),
+                )
+            )
+    return points
+
+
+def series(
+    points: Iterable[SweepPoint], algorithm: str, key: str
+) -> Dict[int, float]:
+    """Extract the mean series of one metric for one algorithm, by n."""
+    return {
+        point.n: point.mean(key)
+        for point in points
+        if point.algorithm == algorithm
+    }

@@ -1,0 +1,55 @@
+"""Common result type returned by every MIS algorithm in this package."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Set
+
+from .congest.metrics import RunMetrics
+
+
+@dataclass
+class MISResult:
+    """Output of one MIS computation.
+
+    Attributes
+    ----------
+    mis:
+        The computed independent set (maximal w.h.p. for the randomized
+        algorithms; callers can check with :func:`repro.analysis.verify_mis`).
+    metrics:
+        Time/energy/message accounting for the whole run; for multi-phase
+        algorithms, ``metrics.phases`` holds the per-phase breakdown.
+    algorithm:
+        Human-readable algorithm name.
+    details:
+        Free-form per-algorithm extras (phase residual degrees, component
+        statistics, iteration counts, ...).
+    """
+
+    mis: Set[int]
+    metrics: RunMetrics
+    algorithm: str
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def rounds(self) -> int:
+        """Time complexity of the run (total clock rounds)."""
+        return self.metrics.rounds
+
+    @property
+    def max_energy(self) -> int:
+        """Energy complexity of the run (max awake rounds over nodes)."""
+        return self.metrics.max_energy
+
+    @property
+    def average_energy(self) -> float:
+        """Node-averaged energy (Section 4's measure)."""
+        return self.metrics.average_energy
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MISResult({self.algorithm}: |MIS|={len(self.mis)}, "
+            f"rounds={self.rounds}, energy={self.max_energy}, "
+            f"avg_energy={self.average_energy:.2f})"
+        )

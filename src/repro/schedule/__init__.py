@@ -1,0 +1,17 @@
+"""Awake-overlap schedules (Lemma 2.5)."""
+
+from .overlap import (
+    all_schedules,
+    common_round,
+    schedule_for_round,
+    schedule_size_bound,
+    verify_overlap_property,
+)
+
+__all__ = [
+    "all_schedules",
+    "common_round",
+    "schedule_for_round",
+    "schedule_size_bound",
+    "verify_overlap_property",
+]

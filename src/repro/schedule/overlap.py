@@ -1,0 +1,96 @@
+"""Awake-overlap schedules (Lemma 2.5 of the paper).
+
+Problem: ``T`` rounds are numbered ``0 .. T-1`` (the paper uses ``1 .. T``).
+For each round ``k`` we need a set of rounds ``S_k`` with ``|S_k| = O(log T)``
+such that for any two rounds ``i <= j`` there is a round ``l`` with
+``i <= l <= j`` and ``l in S_i ∩ S_j``.
+
+A node ``v`` that acts in round ``r_v`` is awake exactly at the rounds of
+``S_{r_v}``; the overlap property guarantees that for any neighbor ``u`` with
+``r_u <= r_v`` there is a common awake round between their action rounds, in
+which ``u``'s outcome can reach ``v``. This is the engine that lets Phase I
+of both algorithms run with ``O(log log n)`` energy.
+
+Construction (the paper's divide-and-conquer): recursively take the midpoint
+``M`` of the current interval, add ``M`` to every schedule in the interval,
+then recurse on the two halves. Equivalently, ``S_k`` is the set of midpoints
+along the binary-search path from the whole interval to ``k`` — which gives
+an ``O(log T)``-time per-round construction without materializing anything.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def schedule_size_bound(total_rounds: int) -> int:
+    """Upper bound on ``|S_k|``: the depth of the binary-search recursion."""
+    if total_rounds < 1:
+        raise ValueError(f"total_rounds must be positive, got {total_rounds}")
+    # The recursion splits an interval of size s into halves of size at most
+    # floor(s / 2); one midpoint is added per level.
+    bound = 1
+    span = total_rounds
+    while span > 1:
+        bound += 1
+        span //= 2
+    return bound
+
+
+def schedule_for_round(total_rounds: int, k: int) -> List[int]:
+    """Return ``S_k`` (sorted ascending) for round ``k`` in ``0 .. T-1``.
+
+    This is the binary-search-path formulation of the paper's recursion:
+    ``S_k`` consists of the midpoints of every recursion interval containing
+    ``k``. Runs in ``O(log T)`` time, so each node computes its own schedule
+    locally before the algorithm starts (free of energy charge).
+    """
+    if total_rounds < 1:
+        raise ValueError(f"total_rounds must be positive, got {total_rounds}")
+    if not 0 <= k < total_rounds:
+        raise ValueError(f"round {k} outside 0..{total_rounds - 1}")
+    low, high = 0, total_rounds - 1
+    rounds: List[int] = []
+    while True:
+        mid = (low + high) // 2
+        rounds.append(mid)
+        if k < mid:
+            high = mid - 1
+        elif k > mid:
+            low = mid + 1
+        else:
+            return sorted(rounds)
+
+
+def all_schedules(total_rounds: int) -> List[List[int]]:
+    """Materialize ``S_0 .. S_{T-1}`` (testing/experiment convenience)."""
+    return [schedule_for_round(total_rounds, k) for k in range(total_rounds)]
+
+
+def common_round(schedule_i: Sequence[int], schedule_j: Sequence[int],
+                 i: int, j: int) -> int:
+    """Return some ``l`` with ``i <= l <= j`` in both schedules.
+
+    Raises ``ValueError`` when no such round exists (which, for schedules
+    produced by :func:`schedule_for_round`, would falsify Lemma 2.5).
+    """
+    if i > j:
+        raise ValueError(f"need i <= j, got i={i}, j={j}")
+    candidates = set(schedule_i) & set(schedule_j)
+    valid = [l for l in candidates if i <= l <= j]
+    if not valid:
+        raise ValueError(
+            f"schedules share no round in [{i}, {j}] — Lemma 2.5 violated"
+        )
+    return min(valid)
+
+
+def verify_overlap_property(total_rounds: int) -> bool:
+    """Exhaustively check Lemma 2.5 for all pairs (testing helper)."""
+    schedules = all_schedules(total_rounds)
+    for i in range(total_rounds):
+        set_i = set(schedules[i])
+        for j in range(i, total_rounds):
+            if not any(i <= l <= j for l in set_i & set(schedules[j])):
+                return False
+    return True

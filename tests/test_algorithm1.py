@@ -1,0 +1,121 @@
+"""End-to-end tests for Algorithm 1 (Theorem 1.1)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import graphs
+from repro.analysis import is_independent_set, verify_mis
+from repro.core import algorithm1
+
+
+class TestAlgorithm1Correctness:
+    def test_valid_mis_on_gnp(self):
+        g = graphs.gnp_expected_degree(300, 20.0, seed=0)
+        result = algorithm1(g, seed=0)
+        report = verify_mis(g, result.mis)
+        assert report.independent
+        if not result.details["undecided"]:
+            assert report.maximal
+
+    def test_empty_graph_rejected(self):
+        import networkx as nx
+
+        with pytest.raises(ValueError):
+            algorithm1(nx.Graph())
+
+    def test_edgeless_graph_takes_everyone(self):
+        g = graphs.empty_graph(20)
+        result = algorithm1(g, seed=0)
+        assert result.mis == set(range(20))
+
+    def test_single_node(self):
+        g = graphs.empty_graph(1)
+        result = algorithm1(g, seed=0)
+        assert result.mis == {0}
+
+    def test_clique(self):
+        g = graphs.clique(20)
+        result = algorithm1(g, seed=1)
+        assert len(result.mis) == 1
+
+    def test_star(self):
+        g = graphs.star(40)
+        result = algorithm1(g, seed=2)
+        assert verify_mis(g, result.mis).valid
+
+    def test_path(self):
+        g = graphs.path(60)
+        result = algorithm1(g, seed=3)
+        assert verify_mis(g, result.mis).valid
+
+    def test_geometric_graph(self):
+        g = graphs.random_geometric(300, seed=4)
+        result = algorithm1(g, seed=0)
+        assert verify_mis(g, result.mis).valid
+
+    def test_heavy_tail_graph(self):
+        g = graphs.barabasi_albert(400, 4, seed=5)
+        result = algorithm1(g, seed=0)
+        assert verify_mis(g, result.mis).valid
+
+    def test_maximality_across_seeds(self):
+        g = graphs.gnp_expected_degree(250, 18.0, seed=6)
+        for seed in range(5):
+            result = algorithm1(g, seed=seed)
+            assert verify_mis(g, result.mis).valid
+
+    def test_determinism(self):
+        g = graphs.gnp_expected_degree(200, 15.0, seed=7)
+        a = algorithm1(g, seed=11)
+        b = algorithm1(g, seed=11)
+        assert a.mis == b.mis
+        assert a.rounds == b.rounds
+        assert a.max_energy == b.max_energy
+
+
+class TestAlgorithm1Complexity:
+    def test_phase_breakdown_present(self):
+        g = graphs.gnp_expected_degree(300, 20.0, seed=8)
+        result = algorithm1(g, seed=0)
+        assert set(result.metrics.phases) == {"phase1", "phase2", "phase3"}
+        assert result.rounds == sum(
+            p.rounds for p in result.metrics.phases.values()
+        )
+
+    def test_time_within_log_squared(self):
+        n = 1024
+        g = graphs.gnp_expected_degree(n, 32.0, seed=9)
+        result = algorithm1(g, seed=0)
+        assert result.rounds <= 6 * math.log2(n) ** 2
+
+    def test_energy_below_time(self):
+        g = graphs.gnp_expected_degree(512, 22.0, seed=10)
+        result = algorithm1(g, seed=0)
+        assert result.max_energy <= result.rounds
+
+    def test_energy_loglog_shape(self):
+        """Energy should grow far slower than log² n (the time bound)."""
+        n = 1024
+        g = graphs.gnp_expected_degree(n, 32.0, seed=11)
+        result = algorithm1(g, seed=0)
+        # Generous constant x loglog² n bound: the point is the gap to
+        # log² n = 100 at this size.
+        assert result.max_energy <= 30 * math.log2(math.log2(n)) ** 2
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=150),
+    degree=st.floats(min_value=0.0, max_value=20.0),
+    graph_seed=st.integers(min_value=0, max_value=50),
+    run_seed=st.integers(min_value=0, max_value=50),
+)
+def test_algorithm1_independence_property(n, degree, graph_seed, run_seed):
+    g = graphs.gnp_expected_degree(n, min(degree, n - 1.0), seed=graph_seed)
+    result = algorithm1(g, seed=run_seed)
+    assert is_independent_set(g, result.mis)
+    if not result.details["undecided"]:
+        assert verify_mis(g, result.mis).valid

@@ -1,0 +1,95 @@
+"""End-to-end tests for Algorithm 2 (Theorem 1.2)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import graphs
+from repro.analysis import is_independent_set, log_star, verify_mis
+from repro.core import algorithm2
+
+
+class TestAlgorithm2Correctness:
+    def test_valid_mis_on_gnp(self):
+        g = graphs.gnp_expected_degree(300, 20.0, seed=0)
+        result = algorithm2(g, seed=0)
+        report = verify_mis(g, result.mis)
+        assert report.independent
+        if not result.details["undecided"]:
+            assert report.maximal
+
+    def test_empty_graph_rejected(self):
+        import networkx as nx
+
+        with pytest.raises(ValueError):
+            algorithm2(nx.Graph())
+
+    def test_edgeless_graph(self):
+        g = graphs.empty_graph(15)
+        result = algorithm2(g, seed=0)
+        assert result.mis == set(range(15))
+
+    def test_clique(self):
+        g = graphs.clique(15)
+        result = algorithm2(g, seed=0)
+        assert len(result.mis) == 1
+
+    def test_dense_graph_exercises_phase1(self):
+        g = graphs.gnp_expected_degree(500, 120.0, seed=1)
+        result = algorithm2(g, seed=0)
+        assert result.details["phase1"]["iterations"] >= 1
+        assert verify_mis(g, result.mis).valid
+
+    def test_geometric_graph(self):
+        g = graphs.random_geometric(250, seed=2)
+        result = algorithm2(g, seed=0)
+        assert verify_mis(g, result.mis).valid
+
+    def test_maximality_across_seeds(self):
+        g = graphs.gnp_expected_degree(250, 18.0, seed=3)
+        for seed in range(4):
+            result = algorithm2(g, seed=seed)
+            assert verify_mis(g, result.mis).valid
+
+    def test_determinism(self):
+        g = graphs.gnp_expected_degree(200, 15.0, seed=4)
+        a = algorithm2(g, seed=7)
+        b = algorithm2(g, seed=7)
+        assert a.mis == b.mis
+        assert a.max_energy == b.max_energy
+
+
+class TestAlgorithm2Complexity:
+    def test_phase_breakdown(self):
+        g = graphs.gnp_expected_degree(300, 20.0, seed=5)
+        result = algorithm2(g, seed=0)
+        assert set(result.metrics.phases) == {"phase1", "phase2", "phase3"}
+
+    def test_time_within_bound_shape(self):
+        n = 1024
+        g = graphs.gnp_expected_degree(n, 32.0, seed=6)
+        result = algorithm2(g, seed=0)
+        bound = 12 * math.log2(n) * math.log2(math.log2(n)) * log_star(n)
+        assert result.rounds <= bound
+
+    def test_energy_below_time(self):
+        g = graphs.gnp_expected_degree(512, 22.0, seed=7)
+        result = algorithm2(g, seed=0)
+        assert result.max_energy <= result.rounds
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=120),
+    degree=st.floats(min_value=0.0, max_value=20.0),
+    graph_seed=st.integers(min_value=0, max_value=30),
+    run_seed=st.integers(min_value=0, max_value=30),
+)
+def test_algorithm2_independence_property(n, degree, graph_seed, run_seed):
+    g = graphs.gnp_expected_degree(n, min(degree, n - 1.0), seed=graph_seed)
+    result = algorithm2(g, seed=run_seed)
+    assert is_independent_set(g, result.mis)
+    if not result.details["undecided"]:
+        assert verify_mis(g, result.mis).valid

@@ -1,0 +1,122 @@
+"""Tests for complexity curves, log*, and scaling fits."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    MODELS,
+    algorithm1_energy,
+    algorithm1_time,
+    algorithm2_energy,
+    algorithm2_time,
+    best_model,
+    fit_model,
+    growth_ratio,
+    log2_safe,
+    log_star,
+    loglog,
+    luby_energy,
+    luby_time,
+)
+
+
+class TestLogStar:
+    def test_base_cases(self):
+        assert log_star(0) == 0
+        assert log_star(1) == 0
+        assert log_star(2) == 1
+
+    def test_tower_values(self):
+        assert log_star(4) == 2
+        assert log_star(16) == 3
+        assert log_star(2**16) == 4
+
+    def test_monotone(self):
+        values = [log_star(2**k) for k in range(1, 20)]
+        assert values == sorted(values)
+
+
+class TestSafeLogs:
+    def test_log2_safe_clamps(self):
+        assert log2_safe(0.5) == 1.0
+        assert log2_safe(1024) == 10.0
+
+    def test_loglog_clamps(self):
+        assert loglog(2) == 1.0
+        assert loglog(2**16) == 4.0
+
+
+class TestReferenceCurves:
+    def test_energy_ordering_at_large_n(self):
+        """The paper's headline: alg1 < alg2 < luby on energy."""
+        n = 2**20
+        assert algorithm1_energy(n) < algorithm2_energy(n) < luby_energy(n)
+
+    def test_time_ordering_at_large_n(self):
+        """Luby is fastest; alg2 close behind; alg1 slowest.
+
+        The log* and loglog factors of Algorithm 2 only drop below the extra
+        log factor of Algorithm 1 for fairly large n, so this crossover is
+        checked far out (the paper's claim is asymptotic).
+        """
+        n = 2**40
+        assert luby_time(n) < algorithm2_time(n) < algorithm1_time(n)
+
+    def test_alg2_time_includes_logstar_factor(self):
+        n = 2**16
+        assert algorithm2_time(n) == pytest.approx(
+            log2_safe(n) * loglog(n) * log_star(n)
+        )
+
+
+class TestFitting:
+    def test_recovers_log_curve(self):
+        xs = [2**k for k in range(4, 14)]
+        ys = [3.0 * math.log2(x) + 1.0 for x in xs]
+        fit = fit_model(xs, ys, "log")
+        assert fit.scale == pytest.approx(3.0, abs=1e-6)
+        assert fit.offset == pytest.approx(1.0, abs=1e-6)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_best_model_prefers_true_shape(self):
+        xs = [2**k for k in range(4, 16)]
+        log_series = [5.0 * math.log2(x) for x in xs]
+        loglog_series = [5.0 * loglog(x) for x in xs]
+        assert best_model(xs, log_series).model == "log"
+        assert best_model(xs, loglog_series).model == "loglog"
+
+    def test_constant_series_prefers_const(self):
+        xs = [2**k for k in range(4, 12)]
+        ys = [7.0] * len(xs)
+        assert best_model(xs, ys).model == "const"
+
+    def test_predict_round_trip(self):
+        xs = [2**k for k in range(4, 12)]
+        ys = [2.0 * math.log2(x) for x in xs]
+        fit = fit_model(xs, ys, "log")
+        assert fit.predict(2**8) == pytest.approx(16.0, abs=1e-6)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            fit_model([1, 2], [1, 2], "cubic")
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            fit_model([1], [1], "log")
+
+    def test_models_registry_shapes(self):
+        for name, fn in MODELS.items():
+            assert fn(2**10) >= 0, name
+
+
+class TestGrowthRatio:
+    def test_flat_series(self):
+        assert growth_ratio([1, 2, 3], [5, 5, 5]) == pytest.approx(1.0)
+
+    def test_growing_series(self):
+        assert growth_ratio([1, 2], [2, 8]) == pytest.approx(4.0)
+
+    def test_single_point_rejected(self):
+        with pytest.raises(ValueError):
+            growth_ratio([1], [1])

@@ -1,0 +1,70 @@
+"""Tests for the ASCII plotting helpers."""
+
+import pytest
+
+from repro.analysis import ascii_chart, sparkline
+
+
+class TestAsciiChart:
+    def test_basic_chart_renders(self):
+        chart = ascii_chart({"a": {1: 1.0, 10: 2.0, 100: 3.0}})
+        assert "o=a" in chart
+        assert "(log x)" in chart
+
+    def test_multiple_series_get_markers(self):
+        chart = ascii_chart({
+            "first": {1: 1.0, 10: 2.0},
+            "second": {1: 3.0, 10: 4.0},
+        })
+        assert "o=first" in chart
+        assert "x=second" in chart
+
+    def test_labels_cover_extremes(self):
+        chart = ascii_chart({"a": {1: 5.0, 100: 25.0}})
+        assert "25" in chart
+        assert "5" in chart
+
+    def test_linear_x(self):
+        chart = ascii_chart({"a": {0: 1.0, 5: 2.0}}, log_x=False)
+        assert "(log x)" not in chart
+
+    def test_title(self):
+        chart = ascii_chart({"a": {1: 1.0, 2: 2.0}}, title="Energy")
+        assert chart.splitlines()[0] == "Energy"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+        with pytest.raises(ValueError):
+            ascii_chart({"a": {}})
+
+    def test_log_x_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"a": {0: 1.0, 1: 2.0}})
+
+    def test_flat_series(self):
+        chart = ascii_chart({"a": {1: 5.0, 10: 5.0}})
+        assert "o" in chart
+
+    def test_size_parameters(self):
+        chart = ascii_chart({"a": {1: 1.0, 10: 9.0}}, width=20, height=5)
+        plot_lines = [l for l in chart.splitlines() if "|" in l]
+        assert len(plot_lines) == 5
+
+
+class TestSparkline:
+    def test_monotone(self):
+        line = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_flat(self):
+        assert sparkline([3, 3, 3]) == "▁▁▁"
+
+    def test_downsampling(self):
+        line = sparkline(list(range(100)), width=10)
+        assert len(line) == 10
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([])

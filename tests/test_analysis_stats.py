@@ -1,0 +1,63 @@
+"""Tests for trial aggregation statistics."""
+
+import pytest
+
+from repro.analysis import Summary, aggregate_trials, geometric_mean
+
+
+class TestSummary:
+    def test_single_value(self):
+        s = Summary.of([4.0])
+        assert s.mean == 4.0
+        assert s.std == 0.0
+        assert s.median == 4.0
+        assert s.count == 1
+
+    def test_even_count_median(self):
+        s = Summary.of([1.0, 2.0, 3.0, 4.0])
+        assert s.median == 2.5
+
+    def test_min_max(self):
+        s = Summary.of([3.0, 1.0, 2.0])
+        assert s.minimum == 1.0
+        assert s.maximum == 3.0
+
+    def test_std(self):
+        s = Summary.of([2.0, 4.0])
+        assert s.std == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Summary.of([])
+
+
+class TestAggregateTrials:
+    def test_aggregates_each_key(self):
+        trials = [
+            {"rounds": 10, "energy": 3},
+            {"rounds": 12, "energy": 5},
+        ]
+        agg = aggregate_trials(trials)
+        assert agg["rounds"].mean == 11.0
+        assert agg["energy"].maximum == 5.0
+
+    def test_inconsistent_keys_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_trials([{"a": 1}, {"b": 2}])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_trials([])
+
+
+class TestGeometricMean:
+    def test_simple(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])

@@ -1,0 +1,55 @@
+"""Property-based tests for the Phase II ball-carving clustering."""
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import graphs
+from repro.cluster import Choreography
+from repro.congest import EnergyLedger
+from repro.core import ball_carving
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=60),
+    p=st.floats(min_value=0.0, max_value=0.5),
+    radius=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=400),
+)
+def test_ball_carving_properties(n, p, radius, seed):
+    """On any graph: the clusters partition the nodes, are connected via
+    tree edges that exist in the graph, and have height <= radius."""
+    graph = graphs.gnp(n, p, seed=seed)
+    ledger = EnergyLedger(graph.nodes)
+    trees = ball_carving(graph, radius, Choreography(ledger))
+
+    covered = set()
+    for center, tree in trees.items():
+        tree.validate()
+        assert tree.root == center
+        assert tree.height <= radius
+        assert not (covered & tree.nodes)
+        covered |= tree.nodes
+        for node, parent in tree.parent.items():
+            if parent is not None:
+                assert graph.has_edge(node, parent)
+    assert covered == set(graph.nodes)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=50),
+    seed=st.integers(min_value=0, max_value=200),
+)
+def test_ball_carving_respects_components(n, seed):
+    """No cluster spans two connected components."""
+    graph = graphs.gnp(n, 0.08, seed=seed)
+    ledger = EnergyLedger(graph.nodes)
+    trees = ball_carving(graph, 2, Choreography(ledger))
+    component_of = {}
+    for index, component in enumerate(nx.connected_components(graph)):
+        for node in component:
+            component_of[node] = index
+    for tree in trees.values():
+        assert len({component_of[v] for v in tree.nodes}) == 1

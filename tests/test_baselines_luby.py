@@ -1,0 +1,86 @@
+"""Tests for Luby's algorithm on the CONGEST engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import graphs
+from repro.analysis import log2_safe, verify_mis
+from repro.baselines import luby_mis
+
+
+class TestLubyCorrectness:
+    def test_path(self):
+        result = luby_mis(graphs.path(10), seed=0)
+        assert verify_mis(graphs.path(10), result.mis).valid
+
+    def test_clique_picks_exactly_one(self):
+        g = graphs.clique(12)
+        result = luby_mis(g, seed=1)
+        assert len(result.mis) == 1
+        assert verify_mis(g, result.mis).valid
+
+    def test_empty_graph_takes_everyone(self):
+        g = graphs.empty_graph(6)
+        result = luby_mis(g, seed=0)
+        assert result.mis == set(range(6))
+
+    def test_star(self):
+        g = graphs.star(30)
+        result = luby_mis(g, seed=3)
+        assert verify_mis(g, result.mis).valid
+
+    def test_single_node(self):
+        g = graphs.empty_graph(1)
+        result = luby_mis(g, seed=0)
+        assert result.mis == {0}
+
+    def test_gnp_many_seeds(self):
+        g = graphs.gnp(60, 0.1, seed=7)
+        for seed in range(5):
+            result = luby_mis(g, seed=seed)
+            assert verify_mis(g, result.mis).valid
+
+
+class TestLubyComplexity:
+    def test_energy_equals_time_order(self):
+        """Luby's defining weakness: some node is awake ~all rounds."""
+        g = graphs.gnp(200, 0.05, seed=2)
+        result = luby_mis(g, seed=0)
+        assert result.max_energy >= result.rounds / 3 - 3
+
+    def test_rounds_logarithmic_in_practice(self):
+        g = graphs.gnp(256, 0.05, seed=4)
+        result = luby_mis(g, seed=0)
+        # 3 sub-rounds per iteration; expect O(log n) iterations with slack.
+        assert result.rounds <= 3 * 10 * log2_safe(256)
+
+    def test_message_bits_within_congest(self):
+        g = graphs.gnp(100, 0.1, seed=0)
+        result = luby_mis(g, seed=0)
+        assert result.metrics.max_message_bits <= 8 * 7 + 32
+
+    def test_isolated_node_energy_is_minimal(self):
+        g = graphs.empty_graph(5)
+        result = luby_mis(g, seed=0)
+        assert result.max_energy <= 2
+
+    def test_determinism(self):
+        g = graphs.gnp(50, 0.1, seed=9)
+        a = luby_mis(g, seed=11)
+        b = luby_mis(g, seed=11)
+        assert a.mis == b.mis
+        assert a.rounds == b.rounds
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=40),
+    p=st.floats(min_value=0.0, max_value=0.6),
+    graph_seed=st.integers(min_value=0, max_value=500),
+    run_seed=st.integers(min_value=0, max_value=500),
+)
+def test_luby_always_valid_mis(n, p, graph_seed, run_seed):
+    graph = graphs.gnp(n, p, seed=graph_seed)
+    result = luby_mis(graph, seed=run_seed)
+    assert verify_mis(graph, result.mis).valid

@@ -1,0 +1,71 @@
+"""Tests for the unmodified regularized-Luby baseline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import graphs
+from repro.analysis import verify_mis
+from repro.baselines import regularized_luby_mis
+from repro.core import run_phase1_alg1
+
+
+class TestRegularizedLuby:
+    def test_path(self):
+        g = graphs.path(20)
+        result = regularized_luby_mis(g, seed=0)
+        assert verify_mis(g, result.mis).valid
+
+    def test_clique(self):
+        g = graphs.clique(12)
+        result = regularized_luby_mis(g, seed=1)
+        assert len(result.mis) == 1
+
+    def test_empty_graph(self):
+        g = graphs.empty_graph(5)
+        result = regularized_luby_mis(g, seed=0)
+        assert result.mis == set(range(5))
+
+    def test_gnp(self):
+        g = graphs.gnp(80, 0.08, seed=2)
+        result = regularized_luby_mis(g, seed=0)
+        assert verify_mis(g, result.mis).valid
+
+    def test_determinism(self):
+        g = graphs.gnp(50, 0.1, seed=3)
+        a = regularized_luby_mis(g, seed=4)
+        b = regularized_luby_mis(g, seed=4)
+        assert a.mis == b.mis
+
+    def test_energy_tracks_time(self):
+        """The re-marking baseline never sleeps: max energy ~ rounds."""
+        g = graphs.gnp_expected_degree(200, 30.0, seed=5)
+        result = regularized_luby_mis(g, seed=0)
+        assert result.max_energy >= result.rounds / 2 - 2
+
+    def test_slower_than_luby_but_same_output_contract(self):
+        g = graphs.gnp_expected_degree(150, 25.0, seed=6)
+        result = regularized_luby_mis(g, seed=0)
+        assert verify_mis(g, result.mis).valid
+
+    def test_one_shot_phase_beats_remarking_on_energy(self):
+        """The ablation A1 claim, as a unit test."""
+        n = 512
+        g = graphs.gnp_expected_degree(n, 180.0, seed=7)
+        remarking = regularized_luby_mis(g, seed=0)
+        one_shot = run_phase1_alg1(g, seed=0, size_bound=n)
+        assert one_shot.details["iterations"] >= 1
+        assert one_shot.metrics.max_energy < remarking.max_energy
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=40),
+    p=st.floats(min_value=0.0, max_value=0.5),
+    graph_seed=st.integers(min_value=0, max_value=100),
+    run_seed=st.integers(min_value=0, max_value=100),
+)
+def test_regularized_luby_always_valid(n, p, graph_seed, run_seed):
+    g = graphs.gnp(n, p, seed=graph_seed)
+    result = regularized_luby_mis(g, seed=run_seed)
+    assert verify_mis(g, result.mis).valid

@@ -1,0 +1,69 @@
+"""Tests for the sequential MIS reference implementations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import graphs
+from repro.analysis import is_maximal_independent_set, verify_mis
+from repro.baselines import greedy_mis, min_degree_greedy_mis, random_greedy_mis
+
+
+class TestGreedyMIS:
+    def test_path_default_order(self):
+        assert greedy_mis(graphs.path(5)) == {0, 2, 4}
+
+    def test_respects_custom_order(self):
+        mis = greedy_mis(graphs.path(3), order=[1, 0, 2])
+        assert mis == {1}
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_mis(graphs.path(3), order=[0, 1])
+
+    def test_empty_graph_all_nodes(self):
+        g = graphs.empty_graph(4)
+        assert greedy_mis(g) == {0, 1, 2, 3}
+
+    def test_clique_single_node(self):
+        assert len(greedy_mis(graphs.clique(7))) == 1
+
+
+class TestRandomGreedy:
+    def test_deterministic_in_seed(self):
+        g = graphs.gnp(40, 0.2, seed=0)
+        assert random_greedy_mis(g, seed=5) == random_greedy_mis(g, seed=5)
+
+    def test_valid_mis(self):
+        g = graphs.gnp(40, 0.2, seed=0)
+        assert is_maximal_independent_set(g, random_greedy_mis(g, seed=1))
+
+
+class TestMinDegreeGreedy:
+    def test_valid_mis(self):
+        g = graphs.barabasi_albert(60, 3, seed=0)
+        assert is_maximal_independent_set(g, min_degree_greedy_mis(g))
+
+    def test_star_prefers_leaves(self):
+        g = graphs.star(8)
+        mis = min_degree_greedy_mis(g)
+        assert mis == set(range(1, 8))
+
+
+@st.composite
+def random_graphs(draw):
+    n = draw(st.integers(min_value=1, max_value=25))
+    p = draw(st.floats(min_value=0.0, max_value=0.8))
+    seed = draw(st.integers(min_value=0, max_value=1000))
+    return graphs.gnp(n, p, seed=seed)
+
+
+@settings(max_examples=80, deadline=None)
+@given(graph=random_graphs(), seed=st.integers(min_value=0, max_value=99))
+def test_all_sequential_variants_valid(graph, seed):
+    for mis in (
+        greedy_mis(graph),
+        random_greedy_mis(graph, seed=seed),
+        min_degree_greedy_mis(graph),
+    ):
+        assert verify_mis(graph, mis).valid

@@ -1,0 +1,101 @@
+"""Tests for the metered choreography layer (clock + energy charging)."""
+
+import pytest
+
+from repro.cluster import Choreography, RootedTree
+from repro.congest import EnergyLedger
+
+
+def line_tree(length):
+    parent = {0: None}
+    depth = {0: 0}
+    for v in range(1, length):
+        parent[v] = v - 1
+        depth[v] = v
+    return RootedTree(root=0, parent=parent, depth=depth)
+
+
+class TestChoreography:
+    def test_exchange_charges_one_round(self):
+        ledger = EnergyLedger(range(5))
+        chor = Choreography(ledger)
+        chor.exchange([0, 1, 2])
+        assert chor.clock == 1
+        assert ledger.awake_rounds(0) == 1
+        assert ledger.awake_rounds(3) == 0
+
+    def test_broadcast_charges_two_per_node(self):
+        ledger = EnergyLedger(range(4))
+        chor = Choreography(ledger)
+        tree = line_tree(4)
+        chor.broadcast(tree, allotment=10)
+        assert chor.clock == 10
+        assert all(ledger.awake_rounds(v) == 2 for v in range(4))
+
+    def test_broadcast_rejects_small_allotment(self):
+        chor = Choreography(EnergyLedger(range(4)))
+        with pytest.raises(ValueError):
+            chor.broadcast(line_tree(4), allotment=4)  # height 3 needs 5
+
+    def test_convergecast_symmetric_cost(self):
+        ledger = EnergyLedger(range(4))
+        chor = Choreography(ledger)
+        chor.convergecast(line_tree(4), allotment=6)
+        assert chor.clock == 6
+        assert ledger.max_energy() == 2
+
+    def test_awake_all_block(self):
+        ledger = EnergyLedger(range(3))
+        chor = Choreography(ledger)
+        chor.awake_all([0, 1], 7)
+        assert chor.clock == 7
+        assert ledger.awake_rounds(1) == 7
+        assert ledger.awake_rounds(2) == 0
+
+    def test_idle_advances_clock_only(self):
+        ledger = EnergyLedger(range(2))
+        chor = Choreography(ledger)
+        chor.idle(5)
+        assert chor.clock == 5
+        assert ledger.total_energy() == 0
+
+    def test_negative_durations_rejected(self):
+        chor = Choreography(EnergyLedger(range(2)))
+        with pytest.raises(ValueError):
+            chor.idle(-1)
+        with pytest.raises(ValueError):
+            chor.awake_all([0], -2)
+
+    def test_parallel_broadcast_single_clock_advance(self):
+        ledger = EnergyLedger(range(8))
+        chor = Choreography(ledger)
+        t1 = RootedTree(root=0, parent={0: None, 1: 0}, depth={0: 0, 1: 1})
+        t2 = RootedTree(root=4, parent={4: None, 5: 4}, depth={4: 0, 5: 1})
+        chor.parallel_broadcast([t1, t2], allotment=5)
+        assert chor.clock == 5
+        assert ledger.awake_rounds(1) == 2
+        assert ledger.awake_rounds(5) == 2
+
+    def test_parallel_broadcast_rejects_overlap(self):
+        chor = Choreography(EnergyLedger(range(4)))
+        t1 = RootedTree(root=0, parent={0: None, 1: 0}, depth={0: 0, 1: 1})
+        t2 = RootedTree(root=1, parent={1: None}, depth={1: 0})
+        with pytest.raises(ValueError):
+            chor.parallel_broadcast([t1, t2], allotment=5)
+
+    def test_operation_counters(self):
+        chor = Choreography(EnergyLedger(range(4)))
+        chor.exchange([0])
+        chor.exchange([1])
+        chor.broadcast(line_tree(2), allotment=4)
+        assert chor.operations["exchange"] == 2
+        assert chor.operations["broadcast"] == 1
+
+    def test_metrics_roundtrip(self):
+        ledger = EnergyLedger(range(3))
+        chor = Choreography(ledger)
+        chor.exchange([0, 1, 2])
+        chor.idle(4)
+        metrics = chor.metrics()
+        assert metrics.rounds == 5
+        assert metrics.max_energy == 1

@@ -1,0 +1,175 @@
+"""Tests for Linial color reduction."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import graphs
+from repro.cluster import (
+    color_classes,
+    encode_polynomial,
+    evaluate_polynomial,
+    is_prime,
+    linial_round,
+    next_prime,
+    polynomial_parameters,
+    reduce_coloring,
+    verify_proper,
+)
+
+
+def adjacency_of(graph):
+    return {v: set(graph.neighbors(v)) for v in graph.nodes}
+
+
+class TestPrimes:
+    def test_is_prime_basics(self):
+        primes = [2, 3, 5, 7, 11, 13, 101]
+        composites = [0, 1, 4, 9, 100, 121]
+        assert all(is_prime(p) for p in primes)
+        assert not any(is_prime(c) for c in composites)
+
+    def test_next_prime(self):
+        assert next_prime(10) == 11
+        assert next_prime(11) == 11
+        assert next_prime(1) == 2
+
+
+class TestPolynomialEncoding:
+    def test_roundtrip_digits(self):
+        coeffs = encode_polynomial(123, q=7, degree=3)
+        value = sum(c * 7**i for i, c in enumerate(coeffs))
+        assert value == 123
+
+    def test_too_large_color_rejected(self):
+        with pytest.raises(ValueError):
+            encode_polynomial(1000, q=3, degree=1)
+
+    def test_negative_color_rejected(self):
+        with pytest.raises(ValueError):
+            encode_polynomial(-1, q=3, degree=1)
+
+    def test_evaluation_horner(self):
+        # p(x) = 1 + 2x + 3x^2 over GF(11) at x=2 -> 1 + 4 + 12 = 17 = 6
+        assert evaluate_polynomial([1, 2, 3], 2, 11) == 6
+
+    def test_distinct_polynomials_agree_rarely(self):
+        q, d = 11, 2
+        a = encode_polynomial(5, q, d)
+        b = encode_polynomial(17, q, d)
+        agreements = sum(
+            evaluate_polynomial(a, x, q) == evaluate_polynomial(b, x, q)
+            for x in range(q)
+        )
+        assert agreements <= d
+
+
+class TestParameters:
+    def test_requirements_met(self):
+        for palette, delta in [(10, 3), (1000, 10), (2**20, 10), (5, 0)]:
+            q, d = polynomial_parameters(palette, delta)
+            assert is_prime(q)
+            assert q > delta * d
+            assert q ** (d + 1) >= palette
+
+    def test_palette_shrinks_for_large_inputs(self):
+        q, _ = polynomial_parameters(2**30, 10)
+        assert q * q < 2**30
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            polynomial_parameters(0, 3)
+        with pytest.raises(ValueError):
+            polynomial_parameters(5, -1)
+
+
+class TestLinialRound:
+    def test_preserves_properness(self):
+        g = graphs.cycle(7)
+        colors = {v: v for v in g.nodes}
+        new = linial_round(colors, adjacency_of(g), max_degree=2)
+        assert verify_proper(new, adjacency_of(g))
+
+    def test_shrinks_large_palette(self):
+        g = graphs.cycle(10)
+        colors = {v: v * 1000 + 17 for v in g.nodes}
+        new = linial_round(colors, adjacency_of(g), max_degree=2)
+        assert max(new.values()) < max(colors.values())
+
+    def test_rejects_improper_input(self):
+        g = graphs.path(3)
+        with pytest.raises(ValueError):
+            linial_round({0: 1, 1: 1, 2: 2}, adjacency_of(g), max_degree=2)
+
+    def test_rejects_degree_violation(self):
+        g = graphs.star(5)
+        colors = {v: v for v in g.nodes}
+        with pytest.raises(ValueError):
+            linial_round(colors, adjacency_of(g), max_degree=1)
+
+    def test_empty_input(self):
+        assert linial_round({}, {}, 3) == {}
+
+    def test_isolated_nodes(self):
+        colors = {0: 100, 1: 200}
+        new = linial_round(colors, {0: set(), 1: set()}, max_degree=0)
+        assert len(new) == 2
+
+
+class TestReduceColoring:
+    def test_reaches_constant_palette(self):
+        g = graphs.cycle(64)
+        colors = {v: v for v in g.nodes}
+        reduced, rounds = reduce_coloring(
+            colors, adjacency_of(g), max_degree=2
+        )
+        assert verify_proper(reduced, adjacency_of(g))
+        assert max(reduced.values()) + 1 <= 49  # O(Δ²) fixed point
+        assert rounds <= 6  # log*-ish
+
+    def test_fixed_round_budget(self):
+        g = graphs.cycle(32)
+        colors = {v: v + 500 for v in g.nodes}
+        reduced, rounds = reduce_coloring(
+            colors, adjacency_of(g), max_degree=2, rounds=2
+        )
+        assert rounds == 2
+        assert verify_proper(reduced, adjacency_of(g))
+
+    def test_target_palette_stop(self):
+        g = graphs.cycle(32)
+        colors = {v: v for v in g.nodes}
+        reduced, _ = reduce_coloring(
+            colors, adjacency_of(g), max_degree=2, target_palette=60
+        )
+        assert max(reduced.values()) + 1 <= 60
+
+
+class TestColorClasses:
+    def test_grouping(self):
+        classes = color_classes({1: 5, 2: 5, 3: 0})
+        assert classes == [[3], [1, 2]]
+
+    def test_empty(self):
+        assert color_classes({}) == []
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=24),
+    d=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=200),
+)
+def test_linial_property_on_bounded_degree_graphs(n, d, seed):
+    """On any degree-<=10 graph, iterated reduction stays proper and lands on
+    a small palette — the guarantee Phase III's matching step relies on."""
+    if (n * min(d, n - 1)) % 2 == 1:
+        n += 1
+    degree = min(d, n - 1)
+    g = graphs.random_regular(n, degree, seed=seed)
+    adjacency = adjacency_of(g)
+    colors = {v: v * 7 for v in g.nodes}  # arbitrary distinct colors
+    reduced, _ = reduce_coloring(colors, adjacency, max_degree=10)
+    assert verify_proper(reduced, adjacency)
+    assert max(reduced.values()) + 1 <= next_prime(10 * 1 + 1) ** 2

@@ -1,0 +1,195 @@
+"""Tests for Lemma 2.8 cluster merging."""
+
+import math
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import graphs
+from repro.cluster import (
+    Choreography,
+    ClusterState,
+    RootedTree,
+    merge_component_clusters,
+    singleton_clusters,
+    state_from_trees,
+)
+from repro.congest import EnergyLedger
+
+
+def run_merge(graph, state=None, **kwargs):
+    if state is None:
+        state = singleton_clusters(graph)
+    ledger = EnergyLedger(graph.nodes)
+    chor = Choreography(ledger)
+    tree, report = merge_component_clusters(state, chor, **kwargs)
+    return tree, report, chor, ledger
+
+
+class TestStateConstruction:
+    def test_singletons(self):
+        state = singleton_clusters(graphs.path(4))
+        state.validate()
+        assert state.cluster_count == 4
+
+    def test_state_from_trees(self):
+        g = graphs.path(4)
+        trees = {
+            0: RootedTree.bfs(g, 0, members={0, 1}),
+            2: RootedTree.bfs(g, 2, members={2, 3}),
+        }
+        state = state_from_trees(g, trees)
+        assert state.cluster_of[3] == 2
+
+    def test_mismatched_root_rejected(self):
+        g = graphs.path(2)
+        trees = {1: RootedTree.bfs(g, 0)}  # id 1 but root 0
+        with pytest.raises(ValueError):
+            state_from_trees(g, trees)
+
+    def test_overlap_rejected(self):
+        g = graphs.path(3)
+        trees = {
+            0: RootedTree.bfs(g, 0, members={0, 1}),
+            1: RootedTree.bfs(g, 1, members={1, 2}),
+        }
+        with pytest.raises(ValueError):
+            state_from_trees(g, trees)
+
+
+class TestMergeBasics:
+    def test_two_singletons(self):
+        g = graphs.path(2)
+        tree, report, chor, _ = run_merge(g)
+        tree.validate()
+        assert tree.nodes == {0, 1}
+        assert report.iterations == 1
+        assert report.merges_by_set["M"] == 1
+
+    def test_single_cluster_is_noop(self):
+        g = graphs.path(3)
+        state = state_from_trees(g, {0: RootedTree.bfs(g, 0)})
+        tree, report, chor, ledger = run_merge(g, state=state)
+        assert report.iterations == 0
+        assert ledger.total_energy() == 0
+        assert chor.clock == 0
+
+    def test_path_merges_to_spanning_tree(self):
+        g = graphs.path(9)
+        tree, report, _, _ = run_merge(g)
+        tree.validate()
+        assert tree.nodes == set(g.nodes)
+
+    def test_cycle(self):
+        g = graphs.cycle(12)
+        tree, _, _, _ = run_merge(g)
+        tree.validate()
+        assert tree.nodes == set(g.nodes)
+
+    def test_clique(self):
+        g = graphs.clique(8)
+        tree, report, _, _ = run_merge(g)
+        tree.validate()
+        assert tree.size == 8
+
+    def test_star_triggers_high_indegree(self):
+        g = graphs.star(20)  # every leaf picks the hub or... leaves pick hub
+        tree, report, _, _ = run_merge(g)
+        tree.validate()
+        # hub is chosen by many leaf singletons: E_H merges occur
+        assert report.merges_by_set["E_H"] + report.merges_by_set["M"] >= 1
+
+    def test_iterations_logarithmic(self):
+        g = graphs.path(64)
+        _, report, _, _ = run_merge(g)
+        assert report.iterations <= 2 * math.ceil(math.log2(64)) + 8
+
+
+class TestMergeFromClusters:
+    def test_pre_clustered_path(self):
+        g = graphs.path(8)
+        trees = {
+            0: RootedTree.bfs(g, 0, members={0, 1}),
+            2: RootedTree.bfs(g, 2, members={2, 3}),
+            4: RootedTree.bfs(g, 4, members={4, 5}),
+            6: RootedTree.bfs(g, 6, members={6, 7}),
+        }
+        state = state_from_trees(g, trees)
+        tree, report, _, _ = run_merge(g, state=state)
+        tree.validate()
+        assert tree.nodes == set(g.nodes)
+        assert report.initial_clusters == 4
+
+    def test_spanning_tree_height_bounded_by_cluster_mass(self):
+        g = graphs.path(32)
+        state = singleton_clusters(g)
+        tree, _, _, _ = run_merge(g)
+        # Height can never exceed the sum of (height+1) over initial clusters.
+        assert tree.height <= 32
+
+
+class TestEnergyAndTime:
+    def test_energy_logarithmic_in_cluster_count(self):
+        """Per iteration each node pays O(1); O(log k) iterations."""
+        g = graphs.path(64)
+        _, report, _, ledger = run_merge(g)
+        per_iteration = ledger.max_energy() / max(1, report.iterations)
+        assert per_iteration <= 40  # constant per iteration, with slack
+
+    def test_clock_advances(self):
+        g = graphs.path(16)
+        _, _, chor, _ = run_merge(g)
+        assert chor.clock > 0
+
+    def test_small_allotment_rejected(self):
+        g = graphs.path(16)
+        with pytest.raises(ValueError):
+            run_merge(g, allotment=1)
+
+    def test_alg2_variant_constant_palette(self):
+        g = graphs.path(32)
+        tree, report, _, _ = run_merge(
+            g, linial_rounds=None, linial_target_palette=121
+        )
+        tree.validate()
+        assert tree.nodes == set(g.nodes)
+
+
+class TestTreeEdgesComeFromGraph:
+    def test_tree_edges_are_graph_edges(self):
+        g = graphs.gnp(30, 0.2, seed=3)
+        component = max(nx.connected_components(g), key=len)
+        sub = g.subgraph(component).copy()
+        state = singleton_clusters(sub)
+        ledger = EnergyLedger(sub.nodes)
+        tree, _ = merge_component_clusters(state, Choreography(ledger))
+        for node, parent in tree.parent.items():
+            if parent is not None:
+                assert sub.has_edge(node, parent)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=40),
+    p=st.floats(min_value=0.05, max_value=0.6),
+    seed=st.integers(min_value=0, max_value=300),
+)
+def test_merge_property_random_components(n, p, seed):
+    """On any connected graph, merging singletons yields a valid spanning
+    tree whose edges exist in the graph, within O(log n) iterations."""
+    g = graphs.gnp(n, p, seed=seed)
+    component = max(
+        nx.connected_components(g), key=lambda c: (len(c), sorted(c))
+    )
+    sub = g.subgraph(component).copy()
+    state = singleton_clusters(sub)
+    ledger = EnergyLedger(sub.nodes)
+    tree, report = merge_component_clusters(state, Choreography(ledger))
+    tree.validate()
+    assert tree.nodes == set(sub.nodes)
+    for node, parent in tree.parent.items():
+        if parent is not None:
+            assert sub.has_edge(node, parent)
+    assert report.iterations <= 2 * math.ceil(math.log2(max(2, len(component)))) + 8

@@ -1,0 +1,107 @@
+"""Targeted tests for the distinct merge paths of Lemma 2.8.
+
+The merge loop has four merge sets (M, E_H, M_L, R); these tests construct
+topologies that force each path to be exercised.
+"""
+
+import networkx as nx
+import pytest
+
+from repro import graphs
+from repro.cluster import (
+    Choreography,
+    RootedTree,
+    merge_component_clusters,
+    singleton_clusters,
+    state_from_trees,
+)
+from repro.congest import EnergyLedger
+
+
+def merge(graph, state=None, **kwargs):
+    if state is None:
+        state = singleton_clusters(graph)
+    ledger = EnergyLedger(graph.nodes)
+    chor = Choreography(ledger)
+    tree, report = merge_component_clusters(state, chor, **kwargs)
+    return tree, report
+
+
+class TestMutualPairs:
+    def test_two_clusters_form_m_pair(self):
+        tree, report = merge(graphs.path(2))
+        assert report.merges_by_set["M"] == 1
+        assert report.merges_by_set["E_H"] == 0
+
+    def test_chain_of_pairs(self):
+        """A path of singletons: cluster i's min neighbor is i-1, so 0-1
+        become a mutual pair; everyone else points down the chain."""
+        tree, report = merge(graphs.path(6))
+        assert report.merges_by_set["M"] >= 1
+
+
+class TestHighIndegree:
+    def test_star_hub_becomes_high(self):
+        """A star with enough leaves: every leaf picks the hub (minimum id
+        0), giving the hub indegree >= 10 -> E_H star merge."""
+        graph = graphs.star(14)  # hub 0 + 13 leaves
+        tree, report = merge(graph)
+        # The hub+leaf-1 pair is mutual (leaf 1's min neighbor is 0, hub's
+        # min neighbor is 1); the remaining 12 leaves hit the E_H path.
+        assert report.merges_by_set["E_H"] >= 10
+        assert report.iterations == 1
+        tree.validate()
+
+    def test_below_threshold_goes_matching(self):
+        """With < 10 leaves the hub is low-indegree: the matching path."""
+        graph = graphs.star(6)
+        tree, report = merge(graph)
+        assert report.merges_by_set["E_H"] == 0
+        tree.validate()
+
+
+class TestMatchingAndLeftovers:
+    def test_matching_used_on_cycle(self):
+        tree, report = merge(graphs.cycle(9))
+        assert report.merges_by_set["M"] + report.merges_by_set["M_L"] >= 1
+        tree.validate()
+
+    def test_leftover_path_engages(self):
+        """Odd chains leave an unmatched cluster that must hook via R."""
+        total_r = 0
+        for n in (5, 7, 9, 11):
+            _, report = merge(graphs.path(n))
+            total_r += report.merges_by_set["R"]
+        assert total_r >= 1
+
+    def test_counts_add_up(self):
+        graph = graphs.gnp(40, 0.15, seed=0)
+        comp = max(nx.connected_components(graph), key=lambda c: (len(c), min(c)))
+        sub = graph.subgraph(comp).copy()
+        tree, report = merge(sub)
+        merges = sum(report.merges_by_set.values())
+        # k clusters need exactly k-1 merges to become one.
+        assert merges == len(comp) - 1
+
+
+class TestPreClusteredMerges:
+    def test_merge_preserves_depth_consistency(self):
+        # A 4x4 grid (row-major labels) partitioned into four 2x2 quadrant
+        # clusters, each a BFS tree from its lowest-id corner.
+        g = graphs.grid_2d(4, 4)
+        quadrants = {
+            0: {0, 1, 4, 5},
+            2: {2, 3, 6, 7},
+            8: {8, 9, 12, 13},
+            10: {10, 11, 14, 15},
+        }
+        trees = {
+            corner: RootedTree.bfs(g, corner, members=members)
+            for corner, members in quadrants.items()
+        }
+        state = state_from_trees(g, trees)
+        ledger = EnergyLedger(g.nodes)
+        tree, report = merge_component_clusters(state, Choreography(ledger))
+        tree.validate()
+        assert tree.nodes == set(g.nodes)
+        assert report.initial_clusters == 4

@@ -1,0 +1,158 @@
+"""Tests for rooted cluster trees."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import graphs
+from repro.cluster import RootedTree, convergecast_fold
+
+
+def small_tree():
+    #      0
+    #    /   \
+    #   1     2
+    #   |
+    #   3
+    return RootedTree(
+        root=0,
+        parent={0: None, 1: 0, 2: 0, 3: 1},
+        depth={0: 0, 1: 1, 2: 1, 3: 2},
+    )
+
+
+class TestRootedTree:
+    def test_validate_accepts_good_tree(self):
+        small_tree().validate()
+
+    def test_height(self):
+        assert small_tree().height == 2
+
+    def test_children_sorted(self):
+        assert small_tree().children()[0] == [1, 2]
+
+    def test_path_to_root(self):
+        assert small_tree().path_to_root(3) == [3, 1, 0]
+
+    def test_nodes_by_depth(self):
+        assert small_tree().nodes_by_depth() == [[0], [1, 2], [3]]
+
+    def test_validate_rejects_bad_depth(self):
+        tree = small_tree()
+        tree.depth[3] = 5
+        with pytest.raises(ValueError):
+            tree.validate()
+
+    def test_validate_rejects_rooted_cycle(self):
+        tree = RootedTree(
+            root=0,
+            parent={0: None, 1: 2, 2: 1},
+            depth={0: 0, 1: 1, 2: 2},
+        )
+        with pytest.raises(ValueError):
+            tree.validate()
+
+    def test_validate_rejects_missing_root(self):
+        tree = RootedTree(root=9, parent={0: None}, depth={0: 0})
+        with pytest.raises(ValueError):
+            tree.validate()
+
+    def test_singleton(self):
+        tree = RootedTree(root=5, parent={5: None}, depth={5: 0})
+        tree.validate()
+        assert tree.height == 0
+
+
+class TestBFS:
+    def test_spans_component(self):
+        g = graphs.path(5)
+        tree = RootedTree.bfs(g, 0)
+        tree.validate()
+        assert tree.nodes == set(range(5))
+        assert tree.depth[4] == 4
+
+    def test_members_restriction(self):
+        g = graphs.path(5)
+        tree = RootedTree.bfs(g, 1, members={0, 1, 2})
+        assert tree.nodes == {0, 1, 2}
+        assert tree.height == 1
+
+    def test_unreachable_member_rejected(self):
+        g = graphs.path(5)
+        with pytest.raises(ValueError):
+            RootedTree.bfs(g, 0, members={0, 4})
+
+    def test_root_not_member_rejected(self):
+        with pytest.raises(ValueError):
+            RootedTree.bfs(graphs.path(3), 0, members={1, 2})
+
+    def test_bfs_produces_shortest_depths(self):
+        g = graphs.cycle(8)
+        tree = RootedTree.bfs(g, 0)
+        for node in g.nodes:
+            assert tree.depth[node] == nx.shortest_path_length(g, 0, node)
+
+
+class TestReroot:
+    def test_reroot_path(self):
+        tree = small_tree().rerooted(3)
+        tree.validate()
+        assert tree.root == 3
+        assert tree.depth[2] == 3
+
+    def test_reroot_preserves_nodes(self):
+        tree = small_tree().rerooted(2)
+        assert tree.nodes == small_tree().nodes
+
+    def test_reroot_to_same_root_is_identity(self):
+        tree = small_tree().rerooted(0)
+        assert tree.parent == small_tree().parent
+
+    def test_reroot_unknown_node_rejected(self):
+        with pytest.raises(ValueError):
+            small_tree().rerooted(42)
+
+
+class TestConvergecastFold:
+    def test_sum(self):
+        tree = small_tree()
+        values = {v: 1 for v in tree.nodes}
+        assert convergecast_fold(tree, values, lambda a, b: a + b) == 4
+
+    def test_max(self):
+        tree = small_tree()
+        values = {0: 5, 1: 9, 2: 2, 3: 7}
+        assert convergecast_fold(tree, values, max) == 9
+
+    def test_missing_value_rejected(self):
+        tree = small_tree()
+        with pytest.raises(ValueError):
+            convergecast_fold(tree, {0: 1}, max)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=40),
+    seed=st.integers(min_value=0, max_value=500),
+    new_root_index=st.integers(min_value=0, max_value=39),
+)
+def test_reroot_preserves_tree_structure(n, seed, new_root_index):
+    g = graphs.gnp(n, 0.3, seed=seed)
+    component = max(nx.connected_components(g), key=lambda c: (len(c), sorted(c)))
+    root = min(component)
+    tree = RootedTree.bfs(g, root, members=component)
+    tree.validate()
+    members = sorted(tree.nodes)
+    new_root = members[new_root_index % len(members)]
+    rerooted = tree.rerooted(new_root)
+    rerooted.validate()
+    assert rerooted.nodes == tree.nodes
+    # Re-rooting preserves the undirected edge set.
+    def edges(t):
+        return {
+            frozenset((a, b))
+            for a, b in t.parent.items()
+            if b is not None
+        }
+    assert edges(rerooted) == edges(tree)

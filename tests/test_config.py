@@ -1,0 +1,75 @@
+"""Tests for the algorithm configuration and its derived quantities."""
+
+import math
+
+import pytest
+
+from repro.core.config import DEFAULT_CONFIG, AlgorithmConfig, log2n, loglog2n
+
+
+class TestHelpers:
+    def test_log2n_clamps(self):
+        assert log2n(0) == 1.0
+        assert log2n(1024) == 10.0
+
+    def test_loglog2n(self):
+        assert loglog2n(2**16) == 4.0
+        assert loglog2n(2) >= 1.0
+
+
+class TestDerivedQuantities:
+    def test_phase1_iterations_zero_for_small_delta(self):
+        assert DEFAULT_CONFIG.phase1_iterations(1024, 2) == 0
+
+    def test_phase1_iterations_positive_for_dense(self):
+        n = 1024
+        delta = int(math.log2(n) ** 2 * 8)
+        assert DEFAULT_CONFIG.phase1_iterations(n, delta) >= 1
+
+    def test_phase1_truncation_math(self):
+        """iterations = floor(log2 Δ - 2·loglog n)."""
+        n, delta = 2**16, 2**10
+        expected = math.floor(10 - 2 * 4)
+        assert DEFAULT_CONFIG.phase1_iterations(n, delta) == expected
+
+    def test_rounds_per_iteration_scales_with_log(self):
+        assert DEFAULT_CONFIG.phase1_rounds_per_iteration(
+            2**16
+        ) > DEFAULT_CONFIG.phase1_rounds_per_iteration(2**8)
+
+    def test_alg2_floor(self):
+        n = 2**10
+        assert DEFAULT_CONFIG.alg2_degree_floor(n) == pytest.approx(100.0)
+
+    def test_phase3_executions_grow_with_n(self):
+        assert DEFAULT_CONFIG.phase3_executions(
+            2**20
+        ) > DEFAULT_CONFIG.phase3_executions(2**8)
+
+    def test_phase3_iterations_floor(self):
+        assert DEFAULT_CONFIG.phase3_iterations(1) >= 4
+
+    def test_phase2_radius_positive(self):
+        assert DEFAULT_CONFIG.phase2_radius(2) >= 1
+
+
+class TestOverrides:
+    def test_with_overrides_copies(self):
+        custom = DEFAULT_CONFIG.with_overrides(phase1_round_factor=3.0)
+        assert custom.phase1_round_factor == 3.0
+        assert DEFAULT_CONFIG.phase1_round_factor == 1.0
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_CONFIG.phase1_round_factor = 9.0
+
+    def test_override_changes_derivations(self):
+        custom = DEFAULT_CONFIG.with_overrides(phase1_truncation=0.0)
+        n, delta = 2**12, 2**8
+        assert custom.phase1_iterations(n, delta) > (
+            DEFAULT_CONFIG.phase1_iterations(n, delta)
+        )
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(TypeError):
+            DEFAULT_CONFIG.with_overrides(warp_speed=11)

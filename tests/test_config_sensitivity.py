@@ -1,0 +1,118 @@
+"""Config sensitivity: the knobs must move the measured quantities in the
+documented direction (these are the levers the ablations pull)."""
+
+import pytest
+
+from repro import graphs
+from repro.analysis import verify_mis
+from repro.core import DEFAULT_CONFIG, algorithm1, run_phase2, run_phase3
+
+
+class TestShatterBudget:
+    def test_more_shattering_fewer_undecided(self):
+        n = 512
+        g = graphs.gnp_expected_degree(n, 22.0, seed=0)
+        light = run_phase2(
+            g, seed=0, size_bound=n,
+            config=DEFAULT_CONFIG.with_overrides(phase2_shatter_factor=1.0),
+        )
+        heavy = run_phase2(
+            g, seed=0, size_bound=n,
+            config=DEFAULT_CONFIG.with_overrides(phase2_shatter_factor=4.0),
+        )
+        assert len(heavy.remaining) <= len(light.remaining)
+        assert (
+            heavy.details["shatter_iterations"]
+            > light.details["shatter_iterations"]
+        )
+
+    def test_radius_bounds_cluster_heights(self):
+        n = 512
+        g = graphs.gnp_expected_degree(n, 22.0, seed=1)
+        wide = run_phase2(
+            g, seed=0, size_bound=n,
+            config=DEFAULT_CONFIG.with_overrides(phase2_radius_factor=2.0),
+        )
+        radius = DEFAULT_CONFIG.with_overrides(
+            phase2_radius_factor=2.0
+        ).phase2_radius(n)
+        for state in wide.components:
+            for tree in state.trees.values():
+                assert tree.height <= radius
+
+
+class TestPhase3Knobs:
+    def test_more_executions_more_message_bits(self):
+        from repro.cluster import singleton_clusters
+
+        g = graphs.gnp(30, 0.2, seed=2)
+        import networkx as nx
+
+        comp = max(nx.connected_components(g), key=lambda c: (len(c), min(c)))
+        sub = g.subgraph(comp).copy()
+        few = run_phase3(
+            [singleton_clusters(sub.copy())], seed=0, size_bound=2**4,
+            config=DEFAULT_CONFIG.with_overrides(phase3_execution_factor=0.5),
+        )
+        many = run_phase3(
+            [singleton_clusters(sub.copy())], seed=0, size_bound=2**12,
+            config=DEFAULT_CONFIG.with_overrides(phase3_execution_factor=2.0),
+        )
+        assert many.details["executions"] > few.details["executions"]
+
+    def test_zero_retries_still_valid(self):
+        g = graphs.gnp_expected_degree(300, 18.0, seed=3)
+        result = algorithm1(
+            g, seed=0,
+            config=DEFAULT_CONFIG.with_overrides(phase3_retries=0),
+        )
+        assert verify_mis(g, result.mis).independent
+
+
+class TestPhase1Knobs:
+    def test_round_factor_scales_rounds(self):
+        from repro.core import run_phase1_alg1
+
+        n = 512
+        g = graphs.gnp_expected_degree(n, 200.0, seed=4)
+        fast = run_phase1_alg1(g, seed=0, size_bound=n)
+        slow = run_phase1_alg1(
+            g, seed=0, size_bound=n,
+            config=DEFAULT_CONFIG.with_overrides(phase1_round_factor=2.0),
+        )
+        assert fast.details["iterations"] >= 1
+        assert slow.metrics.rounds > fast.metrics.rounds
+
+    def test_mark_divisor_slows_sampling(self):
+        from repro.core import run_phase1_alg1
+
+        n = 512
+        g = graphs.gnp_expected_degree(n, 200.0, seed=5)
+        aggressive = run_phase1_alg1(
+            g, seed=0, size_bound=n,
+            config=DEFAULT_CONFIG.with_overrides(phase1_mark_divisor=2.0),
+        )
+        cautious = run_phase1_alg1(
+            g, seed=0, size_bound=n,
+            config=DEFAULT_CONFIG.with_overrides(phase1_mark_divisor=40.0),
+        )
+        assert (
+            cautious.details["sampled_nodes"]
+            <= aggressive.details["sampled_nodes"]
+        )
+
+    def test_alg2_floor_gates_phase(self):
+        from repro.core import run_phase1_alg2
+
+        n = 400
+        g = graphs.gnp_expected_degree(n, 100.0, seed=6)
+        gated = run_phase1_alg2(
+            g, seed=0, size_bound=n,
+            config=DEFAULT_CONFIG.with_overrides(alg2_floor_exponent=4.0),
+        )
+        active = run_phase1_alg2(
+            g, seed=0, size_bound=n,
+            config=DEFAULT_CONFIG.with_overrides(alg2_floor_exponent=1.0),
+        )
+        assert gated.details["iterations"] == 0
+        assert active.details["iterations"] >= 1

@@ -1,0 +1,80 @@
+"""Unit tests for CONGEST message sizing and budgets."""
+
+import pytest
+
+from repro.congest import Message, default_bit_budget, payload_bits
+
+
+class TestPayloadBits:
+    def test_none_is_free_beacon(self):
+        assert payload_bits(None) == 0
+
+    def test_bool_is_one_bit(self):
+        assert payload_bits(True) == 1
+        assert payload_bits(False) == 1
+
+    def test_small_int(self):
+        assert payload_bits(0) == 2
+        assert payload_bits(1) == 2
+        assert payload_bits(7) == 4
+
+    def test_int_grows_with_bit_length(self):
+        assert payload_bits(2**20) == 22
+        assert payload_bits(2**40) == 42
+
+    def test_negative_int_counts_magnitude(self):
+        assert payload_bits(-8) == payload_bits(8)
+
+    def test_float_fixed_cost(self):
+        assert payload_bits(3.14) == 32
+
+    def test_string_costs_eight_bits_per_char(self):
+        assert payload_bits("ab") == 16
+
+    def test_tuple_sums_elements_with_framing(self):
+        assert payload_bits((True, True)) == (1 + 2) * 2
+
+    def test_nested_structures(self):
+        flat = payload_bits((1, 2, 3))
+        nested = payload_bits(((1, 2), 3))
+        assert nested >= flat
+
+    def test_dict_counts_keys_and_values(self):
+        assert payload_bits({1: True}) == payload_bits(1) + 1 + 4
+
+    def test_unpriceable_type_raises(self):
+        with pytest.raises(TypeError):
+            payload_bits(object())
+
+
+class TestDefaultBitBudget:
+    def test_grows_logarithmically(self):
+        assert default_bit_budget(2**10) < default_bit_budget(2**20)
+
+    def test_fits_constant_many_identifiers(self):
+        n = 1024
+        # An identifier needs 10 bits; the budget should fit several.
+        assert default_bit_budget(n) >= 3 * 10
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            default_bit_budget(0)
+
+    def test_single_node_graph_has_budget(self):
+        assert default_bit_budget(1) > 0
+
+
+class TestMessage:
+    def test_carries_sender_and_payload(self):
+        msg = Message(sender=3, payload=(1, True))
+        assert msg.sender == 3
+        assert msg.payload == (1, True)
+
+    def test_bits_property_matches_pricing(self):
+        msg = Message(sender=0, payload=42)
+        assert msg.bits == payload_bits(42)
+
+    def test_frozen(self):
+        msg = Message(sender=0, payload=None)
+        with pytest.raises(AttributeError):
+            msg.sender = 1

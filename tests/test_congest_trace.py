@@ -1,0 +1,95 @@
+"""Tests for engine tracing and sleep diagrams."""
+
+import networkx as nx
+
+from repro import graphs
+from repro.baselines import LubyProgram
+from repro.congest import Network, NodeProgram
+
+
+class CountdownProgram(NodeProgram):
+    def __init__(self, rounds):
+        self.rounds = rounds
+
+    def on_round(self, ctx):
+        if ctx.round + 1 >= self.rounds:
+            ctx.halt()
+
+
+class TestNetworkTrace:
+    def _traced_run(self, rounds=4, n=3):
+        graph = graphs.path(n)
+        network = Network(
+            graph,
+            {v: CountdownProgram(rounds) for v in graph.nodes},
+            trace=True,
+        )
+        network.run()
+        return network
+
+    def test_disabled_by_default(self):
+        graph = graphs.path(2)
+        network = Network(
+            graph, {v: CountdownProgram(1) for v in graph.nodes}
+        )
+        network.run()
+        assert network.trace is None
+
+    def test_records_every_round(self):
+        network = self._traced_run(rounds=4)
+        assert network.trace.rounds == 4
+
+    def test_awake_counts(self):
+        network = self._traced_run(rounds=3, n=5)
+        assert network.trace.awake_counts() == [5, 5, 5]
+
+    def test_wake_rounds_of_node(self):
+        network = self._traced_run(rounds=3)
+        assert network.trace.wake_rounds_of(0) == [0, 1, 2]
+
+    def test_message_totals(self):
+        graph = graphs.gnp(30, 0.15, seed=0)
+        network = Network(
+            graph, {v: LubyProgram() for v in graph.nodes}, trace=True
+        )
+        network.run()
+        totals = network.trace.message_totals()
+        assert totals["sent"] == network.messages_sent
+        assert totals["delivered"] == network.messages_delivered
+
+    def test_sleep_diagram_shape(self):
+        network = self._traced_run(rounds=5, n=3)
+        diagram = network.trace.sleep_diagram([0, 1, 2])
+        lines = diagram.splitlines()
+        assert len(lines) == 4  # header + one row per node
+        assert "#####" in lines[1]
+
+    def test_sleep_diagram_downsamples(self):
+        network = self._traced_run(rounds=50, n=2)
+        diagram = network.trace.sleep_diagram([0], width=10)
+        row = diagram.splitlines()[1]
+        assert row.count("#") == 10
+
+    def test_sleep_diagram_empty(self):
+        graph = graphs.path(2)
+        network = Network(
+            graph, {v: CountdownProgram(1) for v in graph.nodes}, trace=True
+        )
+        assert "no rounds" in network.trace.sleep_diagram([0])
+
+    def test_scheduled_sleep_visible(self):
+        class Sleeper(NodeProgram):
+            def on_start(self, ctx):
+                if ctx.node == 1:
+                    ctx.use_wake_schedule([2])
+
+            def on_round(self, ctx):
+                if ctx.node == 1 or ctx.round >= 3:
+                    ctx.halt()
+
+        graph = graphs.path(2)
+        network = Network(
+            graph, {v: Sleeper() for v in graph.nodes}, trace=True
+        )
+        network.run()
+        assert network.trace.wake_rounds_of(1) == [2]

@@ -1,0 +1,79 @@
+"""Property tests for the engine's energy charging: the ledger must count
+exactly the rounds each node was awake, no more, no less."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import graphs
+from repro.congest import EnergyLedger, Network, NodeProgram
+
+
+class ScheduledSleeper(NodeProgram):
+    """Wakes exactly at a preset list of rounds and records each wake."""
+
+    def __init__(self, wake_rounds):
+        self.wake_rounds = sorted(set(wake_rounds))
+        self.observed = []
+
+    def on_start(self, ctx):
+        ctx.use_wake_schedule(self.wake_rounds)
+
+    def on_round(self, ctx):
+        self.observed.append(ctx.round)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    schedules=st.lists(
+        st.lists(st.integers(min_value=0, max_value=40), max_size=8),
+        min_size=2,
+        max_size=6,
+    )
+)
+def test_ledger_matches_observed_wakes(schedules):
+    graph = graphs.clique(len(schedules))
+    programs = {
+        v: ScheduledSleeper(schedules[v]) for v in graph.nodes
+    }
+    ledger = EnergyLedger(graph.nodes)
+    network = Network(graph, programs, ledger=ledger)
+    network.run()
+    for v in graph.nodes:
+        assert ledger.awake_rounds(v) == len(programs[v].observed)
+        assert programs[v].observed == programs[v].wake_rounds
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=8),
+    halt_round=st.integers(min_value=0, max_value=10),
+)
+def test_halting_stops_charging(n, halt_round):
+    class HaltAt(NodeProgram):
+        def on_round(self, ctx):
+            if ctx.round >= halt_round:
+                ctx.halt()
+
+    graph = graphs.empty_graph(n)
+    ledger = EnergyLedger(graph.nodes)
+    network = Network(
+        graph, {v: HaltAt() for v in graph.nodes}, ledger=ledger
+    )
+    network.run()
+    for v in graph.nodes:
+        assert ledger.awake_rounds(v) == halt_round + 1
+
+
+def test_metrics_round_count_includes_idle_gaps():
+    class LateWaker(NodeProgram):
+        def on_start(self, ctx):
+            ctx.use_wake_schedule([7])
+
+        def on_round(self, ctx):
+            ctx.halt()
+
+    graph = graphs.empty_graph(2)
+    network = Network(graph, {v: LateWaker() for v in graph.nodes})
+    metrics = network.run()
+    assert metrics.rounds == 8
+    assert metrics.total_energy == 2

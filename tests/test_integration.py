@@ -1,0 +1,69 @@
+"""Cross-module integration tests: every algorithm on every family.
+
+These are the "does the whole library hold together" tests: one pass of
+each registered algorithm over each registered graph family, checking the
+output contract (independence always; maximality unless the run reported
+undecided nodes) and the metric invariants (energy <= rounds, averages
+consistent with the ledger).
+"""
+
+import pytest
+
+from repro import graphs
+from repro.analysis import verify_mis
+from repro.harness import ALGORITHMS, run_algorithm
+
+FAMILIES = sorted(graphs.FAMILIES)
+ALGORITHM_NAMES = sorted(ALGORITHMS)
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+@pytest.mark.parametrize("algorithm", ALGORITHM_NAMES)
+def test_algorithm_on_family(algorithm, family):
+    graph = graphs.make_family(family, 200, seed=13)
+    result = run_algorithm(algorithm, graph, seed=13)
+    report = verify_mis(graph, result.mis)
+    assert report.independent, f"{algorithm} on {family}: dependence!"
+    undecided = result.details.get("undecided", [])
+    if not undecided:
+        assert report.maximal, f"{algorithm} on {family}: not maximal"
+    assert 0 < len(result.mis) <= graph.number_of_nodes()
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHM_NAMES)
+def test_metric_invariants(algorithm):
+    graph = graphs.gnp_expected_degree(250, 16.0, seed=3)
+    result = run_algorithm(algorithm, graph, seed=3)
+    assert result.max_energy <= result.rounds
+    assert 0 <= result.average_energy <= result.max_energy
+    assert result.metrics.total_energy >= result.metrics.max_energy
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHM_NAMES)
+def test_seed_determinism_everywhere(algorithm):
+    graph = graphs.gnp_expected_degree(150, 12.0, seed=5)
+    a = run_algorithm(algorithm, graph, seed=21)
+    b = run_algorithm(algorithm, graph, seed=21)
+    assert a.mis == b.mis
+    assert a.rounds == b.rounds
+    assert a.max_energy == b.max_energy
+
+
+def test_tiny_graphs_every_algorithm():
+    """Edge sizes: n = 1 and n = 2 must work everywhere."""
+    for n in (1, 2):
+        for builder in (graphs.empty_graph, graphs.clique):
+            graph = builder(n)
+            for algorithm in ALGORITHM_NAMES:
+                result = run_algorithm(algorithm, graph, seed=0)
+                assert verify_mis(graph, result.mis).valid
+
+
+def test_disconnected_graph_every_algorithm():
+    graph = graphs.disjoint_cliques(3, 4)
+    graph.add_node(100)  # plus an isolated node
+    for algorithm in ALGORITHM_NAMES:
+        result = run_algorithm(algorithm, graph, seed=1)
+        report = verify_mis(graph, result.mis)
+        assert report.independent
+        assert 100 in result.mis

@@ -1,0 +1,132 @@
+"""Tests for Phase I of Algorithm 1 (Lemma 2.1)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import graphs
+from repro.analysis import is_independent_set
+from repro.congest import EnergyLedger
+from repro.core.config import DEFAULT_CONFIG
+from repro.core.phase1_alg1 import run_phase1_alg1
+
+
+class TestPhase1Basics:
+    def test_output_is_independent(self):
+        g = graphs.gnp(120, 0.2, seed=0)
+        result = run_phase1_alg1(g, seed=1)
+        assert is_independent_set(g, result.joined)
+
+    def test_partition(self):
+        g = graphs.gnp(100, 0.15, seed=1)
+        result = run_phase1_alg1(g, seed=0)
+        result.check_partition(set(g.nodes))
+
+    def test_dominated_are_neighbors_of_joined(self):
+        g = graphs.gnp(100, 0.15, seed=2)
+        result = run_phase1_alg1(g, seed=0)
+        for node in result.dominated:
+            assert any(u in result.joined for u in g.neighbors(node))
+
+    def test_low_degree_graph_is_noop(self):
+        """With Δ <= polylog the truncated iteration count is zero."""
+        g = graphs.path(50)
+        result = run_phase1_alg1(g, seed=0)
+        assert result.joined == set()
+        assert result.remaining == set(g.nodes)
+        assert result.metrics.rounds == 0
+
+    def test_empty_graph(self):
+        g = graphs.empty_graph(5)
+        result = run_phase1_alg1(g, seed=0)
+        assert result.remaining == set(g.nodes)
+
+
+class TestLemma21Guarantees:
+    def test_residual_degree_drops(self):
+        """Lemma 2.1: the residual graph has degree O(log² n)."""
+        n = 300
+        g = graphs.gnp_expected_degree(n, 160.0, seed=3)
+        result = run_phase1_alg1(g, seed=0)
+        assert result.details["iterations"] >= 1  # phase actually ran
+        bound = 4 * math.log2(n) ** 2
+        assert result.details["residual_max_degree"] <= bound
+
+    def test_energy_is_loglog(self):
+        """Each node awake O(log log n) rounds (3 sub-rounds per schedule
+        entry, |S| <= ceil(log T) + the hand-off round)."""
+        n = 400
+        g = graphs.gnp_expected_degree(n, 50.0, seed=4)
+        result = run_phase1_alg1(g, seed=0)
+        total_rounds = (
+            result.details["iterations"]
+            * result.details["rounds_per_iteration"]
+        )
+        schedule_bound = math.floor(math.log2(max(2, total_rounds))) + 1
+        assert result.metrics.max_energy <= 3 * schedule_bound + 1
+
+    def test_time_is_log_delta_times_log_n(self):
+        n = 256
+        g = graphs.gnp_expected_degree(n, 40.0, seed=5)
+        result = run_phase1_alg1(g, seed=0)
+        assert result.metrics.rounds <= 3 * math.log2(n) ** 2 + 1
+
+    def test_unsampled_nodes_sleep_through_phase(self):
+        g = graphs.gnp_expected_degree(200, 120.0, seed=6)
+        ledger = EnergyLedger(g.nodes)
+        result = run_phase1_alg1(g, seed=0, ledger=ledger)
+        assert result.details["iterations"] >= 1
+        sampled = result.details["sampled_nodes"]
+        assert sampled < g.number_of_nodes()
+        # Unsampled nodes paid only the single hand-off round.
+        unsampled_energies = sorted(
+            ledger.awake_rounds(v) for v in g.nodes
+        )[: g.number_of_nodes() - sampled]
+        assert all(e == 1 for e in unsampled_energies)
+
+    def test_few_nodes_sampled(self):
+        """Section 4.1: O(n / log n) nodes are ever sampled."""
+        n = 500
+        g = graphs.gnp_expected_degree(n, 200.0, seed=7)
+        result = run_phase1_alg1(g, seed=0)
+        assert result.details["iterations"] >= 1
+        assert result.details["sampled_nodes"] <= 6 * n / math.log2(n)
+
+    def test_messages_are_single_bit(self):
+        g = graphs.gnp_expected_degree(150, 30.0, seed=8)
+        result = run_phase1_alg1(g, seed=0)
+        assert result.metrics.max_message_bits <= 1
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        g = graphs.gnp_expected_degree(150, 40.0, seed=9)
+        a = run_phase1_alg1(g, seed=42)
+        b = run_phase1_alg1(g, seed=42)
+        assert a.joined == b.joined
+        assert a.metrics.max_energy == b.metrics.max_energy
+
+    def test_config_override_changes_rounds(self):
+        g = graphs.gnp_expected_degree(150, 40.0, seed=9)
+        slow = DEFAULT_CONFIG.with_overrides(phase1_round_factor=2.0)
+        a = run_phase1_alg1(g, seed=0)
+        b = run_phase1_alg1(g, seed=0, config=slow)
+        if a.metrics.rounds:  # phase active at this scale
+            assert b.metrics.rounds > a.metrics.rounds
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=30, max_value=120),
+    degree=st.floats(min_value=10.0, max_value=40.0),
+    graph_seed=st.integers(min_value=0, max_value=100),
+    run_seed=st.integers(min_value=0, max_value=100),
+)
+def test_phase1_independence_property(n, degree, graph_seed, run_seed):
+    """Independence of the joined set holds unconditionally (not just whp)."""
+    g = graphs.gnp_expected_degree(n, min(degree, n / 2), seed=graph_seed)
+    result = run_phase1_alg1(g, seed=run_seed)
+    assert is_independent_set(g, result.joined)
+    result.check_partition(set(g.nodes))

@@ -1,0 +1,117 @@
+"""Tests for Phase I of Algorithm 2 (Lemma 3.1 / Corollary 3.2)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import graphs
+from repro.analysis import is_independent_set
+from repro.core import run_lemma31_iteration, run_phase1_alg2
+from repro.core.config import DEFAULT_CONFIG
+from repro.core.phase1_alg2 import sampling_rounds
+
+
+class TestSamplingRounds:
+    def test_capped_at_small_delta(self):
+        n = 10_000
+        assert sampling_rounds(n, 100, DEFAULT_CONFIG) <= math.ceil(
+            4 * 100**0.1
+        )
+
+    def test_uncapped_at_huge_delta(self):
+        """In the paper's regime (Δ >= log^20 n) the cap is inactive."""
+        n = 10_000
+        huge_delta = 10**40
+        assert sampling_rounds(n, huge_delta, DEFAULT_CONFIG) == (
+            DEFAULT_CONFIG.alg2_rounds(n)
+        )
+
+    def test_at_least_four(self):
+        assert sampling_rounds(16, 2, DEFAULT_CONFIG) >= 4
+
+
+class TestLemma31Iteration:
+    def test_independence(self):
+        g = graphs.planted_max_degree(400, 100, seed=0)
+        result = run_lemma31_iteration(g, 100, seed=0)
+        assert is_independent_set(g, result.joined)
+        result.check_partition(set(g.nodes))
+
+    def test_degree_contraction(self):
+        """Lemma 3.1 shape: Δ drops toward Δ^0.7 (strongly below Δ)."""
+        delta = 200
+        g = graphs.planted_max_degree(800, delta, seed=1)
+        result = run_lemma31_iteration(g, delta, seed=0)
+        assert result.details["residual_max_degree"] <= delta / 2
+
+    def test_energy_loglog_scale(self):
+        g = graphs.planted_max_degree(600, 150, seed=2)
+        result = run_lemma31_iteration(g, 150, seed=0)
+        rounds = result.details["rounds"]
+        schedule_bound = math.floor(math.log2(max(2, rounds))) + 1
+        # 2 listen sub-rounds per schedule entry + own 2 + end block 4.
+        assert result.metrics.max_energy <= 2 * schedule_bound + 2 + 4
+
+    def test_message_bits_within_congest(self):
+        g = graphs.planted_max_degree(400, 100, seed=3)
+        result = run_lemma31_iteration(g, 100, seed=0)
+        # A_v counts fit in O(log n) bits.
+        assert result.metrics.max_message_bits <= 8 * 10 + 32
+
+    def test_dominated_are_covered(self):
+        g = graphs.planted_max_degree(400, 100, seed=4)
+        result = run_lemma31_iteration(g, 100, seed=1)
+        for node in result.dominated:
+            assert any(u in result.joined for u in g.neighbors(node))
+
+
+class TestCorollary32:
+    def test_low_degree_graph_is_noop(self):
+        g = graphs.path(40)
+        result = run_phase1_alg2(g, seed=0)
+        assert result.details["iterations"] == 0
+        assert result.remaining == set(g.nodes)
+
+    def test_reduces_to_floor(self):
+        n = 600
+        g = graphs.gnp_expected_degree(n, 150.0, seed=5)
+        result = run_phase1_alg2(g, seed=0)
+        floor = DEFAULT_CONFIG.alg2_degree_floor(n)
+        # After the recursion the residual degree sits at/below the scaled
+        # floor-regime (allow slack for the probabilistic contraction).
+        assert result.details["residual_max_degree"] <= 2 * floor
+
+    def test_partition(self):
+        g = graphs.gnp_expected_degree(500, 120.0, seed=6)
+        result = run_phase1_alg2(g, seed=0)
+        result.check_partition(set(g.nodes))
+        assert is_independent_set(g, result.joined)
+
+    def test_determinism(self):
+        g = graphs.gnp_expected_degree(400, 100.0, seed=7)
+        a = run_phase1_alg2(g, seed=9)
+        b = run_phase1_alg2(g, seed=9)
+        assert a.joined == b.joined
+        assert a.metrics.rounds == b.metrics.rounds
+
+    def test_empty_graph(self):
+        g = graphs.empty_graph(3)
+        result = run_phase1_alg2(g, seed=0)
+        assert result.remaining == {0, 1, 2}
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=50, max_value=200),
+    delta=st.integers(min_value=20, max_value=60),
+    graph_seed=st.integers(min_value=0, max_value=50),
+    run_seed=st.integers(min_value=0, max_value=50),
+)
+def test_lemma31_independence_property(n, delta, graph_seed, run_seed):
+    delta = min(delta, n - 2)
+    g = graphs.planted_max_degree(n, delta, seed=graph_seed)
+    result = run_lemma31_iteration(g, max(2, delta), seed=run_seed)
+    assert is_independent_set(g, result.joined)
+    result.check_partition(set(g.nodes))

@@ -1,0 +1,134 @@
+"""Tests for Phase II (Lemma 2.6): shattering + ball-carving clustering."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro import graphs
+from repro.analysis import is_independent_set
+from repro.cluster import Choreography
+from repro.congest import EnergyLedger
+from repro.core import ball_carving, run_phase2
+from repro.core.config import DEFAULT_CONFIG
+
+
+class TestBallCarving:
+    def _carve(self, graph, radius):
+        ledger = EnergyLedger(graph.nodes)
+        chor = Choreography(ledger)
+        trees = ball_carving(graph, radius, chor)
+        return trees, chor, ledger
+
+    def test_partitions_all_nodes(self):
+        g = graphs.gnp(60, 0.1, seed=0)
+        trees, _, _ = self._carve(g, radius=2)
+        covered = set()
+        for tree in trees.values():
+            assert not (covered & tree.nodes)
+            covered |= tree.nodes
+        assert covered == set(g.nodes)
+
+    def test_cluster_heights_bounded_by_radius(self):
+        g = graphs.gnp(80, 0.08, seed=1)
+        radius = 3
+        trees, _, _ = self._carve(g, radius)
+        assert all(tree.height <= radius for tree in trees.values())
+
+    def test_clusters_are_connected_subgraphs(self):
+        g = graphs.gnp(60, 0.1, seed=2)
+        trees, _, _ = self._carve(g, 2)
+        for tree in trees.values():
+            tree.validate()
+            for node, parent in tree.parent.items():
+                if parent is not None:
+                    assert g.has_edge(node, parent)
+
+    def test_centers_are_local_minima_first_sweep(self):
+        g = graphs.path(10)
+        trees, _, _ = self._carve(g, radius=2)
+        assert 0 in trees  # global minimum is always a center
+
+    def test_path_single_sweep_needs_multiple(self):
+        """A long descending path forces several carving sweeps."""
+        g = graphs.path(30)
+        trees, chor, _ = self._carve(g, radius=1)
+        assert len(trees) >= 2
+        assert chor.clock >= 2
+
+    def test_energy_charged_to_all_participants(self):
+        g = graphs.clique(10)
+        trees, chor, ledger = self._carve(g, radius=2)
+        assert len(trees) == 1  # one ball swallows the clique
+        assert ledger.max_energy() == chor.clock
+
+    def test_invalid_radius_rejected(self):
+        with pytest.raises(ValueError):
+            self._carve(graphs.path(3), 0)
+
+    def test_singleton_graph(self):
+        g = graphs.empty_graph(1)
+        trees, _, _ = self._carve(g, 2)
+        assert set(trees) == {0}
+
+
+class TestPhase2:
+    def test_empty_graph(self):
+        result = run_phase2(nx.Graph(), seed=0, size_bound=10)
+        assert result.joined == set()
+        assert result.components == []
+
+    def test_partition_and_independence(self):
+        g = graphs.gnp_expected_degree(300, 16.0, seed=3)
+        result = run_phase2(g, seed=0, size_bound=300)
+        result.check_partition(set(g.nodes))
+        assert is_independent_set(g, result.joined)
+
+    def test_components_cover_remaining(self):
+        g = graphs.gnp_expected_degree(400, 20.0, seed=4)
+        result = run_phase2(g, seed=1, size_bound=400)
+        covered = set()
+        for state in result.components:
+            covered |= set(state.graph.nodes)
+        assert covered == result.remaining
+
+    def test_component_states_validate(self):
+        g = graphs.gnp_expected_degree(400, 20.0, seed=5)
+        result = run_phase2(g, seed=0, size_bound=400)
+        for state in result.components:
+            state.validate()
+
+    def test_shattering_leaves_small_components(self):
+        """Lemma 2.6's headline: residual components are small."""
+        n = 1024
+        g = graphs.gnp_expected_degree(n, 32.0, seed=6)
+        result = run_phase2(g, seed=0, size_bound=n)
+        largest = result.details["largest_component"]
+        assert largest <= 4 * math.log2(n) ** 2
+
+    def test_cluster_diameter_is_loglog(self):
+        n = 512
+        g = graphs.gnp_expected_degree(n, 20.0, seed=7)
+        result = run_phase2(g, seed=0, size_bound=n)
+        radius = DEFAULT_CONFIG.phase2_radius(n)
+        for state in result.components:
+            for tree in state.trees.values():
+                assert tree.height <= radius
+
+    def test_energy_is_logarithmic_in_delta2(self):
+        """All nodes awake for O(log Δ₂) rounds — affordable at polylog Δ₂."""
+        n = 512
+        g = graphs.gnp_expected_degree(n, 16.0, seed=8)
+        result = run_phase2(g, seed=0, size_bound=n)
+        delta2 = result.details["delta2"]
+        bound = 2 * DEFAULT_CONFIG.phase2_shatter_factor * math.log2(delta2 + 2)
+        assert result.metrics.max_energy <= bound + 4 * (
+            DEFAULT_CONFIG.phase2_radius(n) * (n + 1)
+        )  # carving sweeps add radius-rounds per sweep
+
+    def test_determinism(self):
+        g = graphs.gnp_expected_degree(200, 14.0, seed=9)
+        a = run_phase2(g, seed=5, size_bound=200)
+        b = run_phase2(g, seed=5, size_bound=200)
+        assert a.joined == b.joined
+        assert a.remaining == b.remaining

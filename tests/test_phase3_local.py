@@ -1,0 +1,74 @@
+"""Tests for the LOCAL-model Phase III shortcut."""
+
+import networkx as nx
+import pytest
+
+from repro import graphs
+from repro.analysis import verify_mis
+from repro.cluster import singleton_clusters
+from repro.congest import EnergyLedger
+from repro.core import run_phase3
+
+
+class TestLocalShortcut:
+    def test_valid_mis_per_component(self):
+        g = graphs.gnp(40, 0.15, seed=0)
+        comp = max(nx.connected_components(g), key=lambda c: (len(c), min(c)))
+        sub = g.subgraph(comp).copy()
+        state = singleton_clusters(sub)
+        result = run_phase3([state], seed=0, size_bound=1000, variant="local")
+        assert verify_mis(sub, result.joined & comp).valid
+
+    def test_never_fails(self):
+        """The LOCAL shortcut is deterministic: no undecided nodes ever."""
+        for seed in range(5):
+            g = graphs.gnp(30, 0.2, seed=seed)
+            comp = max(
+                nx.connected_components(g), key=lambda c: (len(c), min(c))
+            )
+            sub = g.subgraph(comp).copy()
+            state = singleton_clusters(sub)
+            result = run_phase3(
+                [state], seed=seed, size_bound=1000, variant="local"
+            )
+            assert result.remaining == set()
+            assert result.details["failures"] == 0
+
+    def test_cheaper_rounds_than_congest_variant(self):
+        """Trading message size for time: the LOCAL finish needs only two
+        tree operations after the merge."""
+        g = graphs.gnp(40, 0.15, seed=1)
+        comp = max(nx.connected_components(g), key=lambda c: (len(c), min(c)))
+        sub = g.subgraph(comp).copy()
+
+        local = run_phase3(
+            [singleton_clusters(sub.copy())],
+            seed=0, size_bound=1000, variant="local",
+        )
+        congest = run_phase3(
+            [singleton_clusters(sub.copy())],
+            seed=0, size_bound=1000, variant="alg1",
+        )
+        assert local.metrics.rounds <= congest.metrics.rounds
+
+    def test_energy_charged_for_tree_ops(self):
+        g = graphs.path(10)
+        state = singleton_clusters(g)
+        ledger = EnergyLedger(g.nodes)
+        result = run_phase3(
+            [state], seed=0, ledger=ledger, size_bound=100, variant="local"
+        )
+        assert result.metrics.max_energy > 0
+
+    def test_matches_congest_output_contract(self):
+        """Both variants produce a valid MIS of the same components."""
+        g = graphs.gnp(35, 0.2, seed=2)
+        comp = max(nx.connected_components(g), key=lambda c: (len(c), min(c)))
+        sub = g.subgraph(comp).copy()
+        for variant in ("alg1", "alg2", "local"):
+            result = run_phase3(
+                [singleton_clusters(sub.copy())],
+                seed=0, size_bound=1000, variant=variant,
+            )
+            if not result.remaining:
+                assert verify_mis(sub, result.joined & comp).valid

@@ -1,0 +1,85 @@
+"""Tests for the PhaseResult partition checks and RunMetrics snapshots."""
+
+import pytest
+
+from repro.congest import EnergyLedger
+from repro.congest.metrics import RunMetrics
+from repro.core import PhaseResult
+
+
+def metrics():
+    return RunMetrics(rounds=1, max_energy=0, average_energy=0.0,
+                      total_energy=0)
+
+
+class TestCheckPartition:
+    def test_valid_partition(self):
+        result = PhaseResult(
+            joined={1}, dominated={2}, remaining={3}, metrics=metrics()
+        )
+        result.check_partition({1, 2, 3})
+
+    def test_missing_node_rejected(self):
+        result = PhaseResult(
+            joined={1}, dominated=set(), remaining=set(), metrics=metrics()
+        )
+        with pytest.raises(ValueError):
+            result.check_partition({1, 2})
+
+    def test_overlap_rejected(self):
+        result = PhaseResult(
+            joined={1}, dominated={1}, remaining={2}, metrics=metrics()
+        )
+        with pytest.raises(ValueError):
+            result.check_partition({1, 2})
+
+    def test_dominated_remaining_overlap_rejected(self):
+        result = PhaseResult(
+            joined=set(), dominated={1}, remaining={1, 2}, metrics=metrics()
+        )
+        with pytest.raises(ValueError):
+            result.check_partition({1, 2})
+
+    def test_extra_node_rejected(self):
+        result = PhaseResult(
+            joined={1}, dominated={2}, remaining={3}, metrics=metrics()
+        )
+        with pytest.raises(ValueError):
+            result.check_partition({1, 2})
+
+
+class TestRunMetricsSnapshots:
+    def test_delta_energy(self):
+        ledger = EnergyLedger([1, 2, 3])
+        before = ledger.snapshot()
+        ledger.charge(1, 5)
+        ledger.charge(2, 1)
+        snap = RunMetrics.from_snapshots(10, before, ledger.snapshot())
+        assert snap.max_energy == 5
+        assert snap.total_energy == 6
+        assert snap.average_energy == pytest.approx(2.0)
+
+    def test_scope_restriction(self):
+        ledger = EnergyLedger([1, 2, 3])
+        before = ledger.snapshot()
+        ledger.charge(1, 4)
+        snap = RunMetrics.from_snapshots(
+            3, before, ledger.snapshot(), nodes=[2, 3]
+        )
+        assert snap.max_energy == 0
+
+    def test_empty_scope(self):
+        ledger = EnergyLedger([1])
+        snap = RunMetrics.from_snapshots(
+            0, ledger.snapshot(), ledger.snapshot(), nodes=[]
+        )
+        assert snap.max_energy == 0
+        assert snap.average_energy == 0.0
+
+    def test_prior_charges_excluded(self):
+        ledger = EnergyLedger([1])
+        ledger.charge(1, 100)  # a previous phase
+        before = ledger.snapshot()
+        ledger.charge(1, 2)
+        snap = RunMetrics.from_snapshots(1, before, ledger.snapshot())
+        assert snap.max_energy == 2

@@ -1,0 +1,120 @@
+"""Tests for the Lemma 2.5 awake-overlap schedules, including the
+property-based check of the lemma's two guarantees."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schedule import (
+    all_schedules,
+    common_round,
+    schedule_for_round,
+    schedule_size_bound,
+    verify_overlap_property,
+)
+
+
+class TestScheduleForRound:
+    def test_single_round(self):
+        assert schedule_for_round(1, 0) == [0]
+
+    def test_contains_own_round(self):
+        for total in (1, 2, 7, 16, 100):
+            for k in range(total):
+                assert k in schedule_for_round(total, k)
+
+    def test_sorted_output(self):
+        schedule = schedule_for_round(100, 37)
+        assert schedule == sorted(schedule)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            schedule_for_round(10, 10)
+        with pytest.raises(ValueError):
+            schedule_for_round(10, -1)
+        with pytest.raises(ValueError):
+            schedule_for_round(0, 0)
+
+    def test_midpoint_is_everyones_first_entry(self):
+        total = 33
+        mid = (total - 1) // 2
+        for k in range(total):
+            assert schedule_for_round(total, k)[0] <= mid or mid in (
+                schedule_for_round(total, k)
+            )
+
+    def test_all_rounds_share_global_midpoint(self):
+        total = 64
+        mid = (total - 1) // 2
+        for k in range(total):
+            assert mid in schedule_for_round(total, k)
+
+
+class TestSizeBound:
+    def test_logarithmic(self):
+        assert schedule_size_bound(1) == 1
+        assert schedule_size_bound(2) == 2
+        assert schedule_size_bound(1024) == 11
+
+    def test_bound_holds_exhaustively(self):
+        for total in range(1, 130):
+            bound = schedule_size_bound(total)
+            for k in range(total):
+                assert len(schedule_for_round(total, k)) <= bound
+
+    def test_invalid_total_rejected(self):
+        with pytest.raises(ValueError):
+            schedule_size_bound(0)
+
+
+class TestOverlapProperty:
+    def test_exhaustive_small(self):
+        for total in range(1, 65):
+            assert verify_overlap_property(total)
+
+    def test_common_round_returns_witness(self):
+        total = 50
+        schedules = all_schedules(total)
+        l = common_round(schedules[10], schedules[40], 10, 40)
+        assert 10 <= l <= 40
+        assert l in schedules[10] and l in schedules[40]
+
+    def test_common_round_equal_rounds(self):
+        schedules = all_schedules(10)
+        assert common_round(schedules[4], schedules[4], 4, 4) == 4
+
+    def test_common_round_rejects_inverted_range(self):
+        schedules = all_schedules(10)
+        with pytest.raises(ValueError):
+            common_round(schedules[5], schedules[2], 5, 2)
+
+    def test_common_round_detects_violation(self):
+        with pytest.raises(ValueError):
+            common_round([0], [9], 0, 9)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    total=st.integers(min_value=1, max_value=4096),
+    data=st.data(),
+)
+def test_lemma_2_5_property(total, data):
+    """Lemma 2.5: any i <= j share a round l in [i, j]; sizes are O(log T)."""
+    i = data.draw(st.integers(min_value=0, max_value=total - 1))
+    j = data.draw(st.integers(min_value=i, max_value=total - 1))
+    schedule_i = schedule_for_round(total, i)
+    schedule_j = schedule_for_round(total, j)
+    witness = common_round(schedule_i, schedule_j, i, j)
+    assert i <= witness <= j
+    bound = schedule_size_bound(total)
+    assert len(schedule_i) <= bound
+    assert len(schedule_j) <= bound
+
+
+@settings(max_examples=50, deadline=None)
+@given(total=st.integers(min_value=1, max_value=512))
+def test_direct_construction_matches_materialized(total):
+    """The O(log T) per-round path equals the recursive materialization."""
+    schedules = all_schedules(total)
+    for k in range(0, total, max(1, total // 17)):
+        assert schedules[k] == schedule_for_round(total, k)
