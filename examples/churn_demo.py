@@ -1,0 +1,52 @@
+"""MIS maintenance under churn — the dynamic-network subsystem end to end.
+
+A sensor field is never static: batteries die, links flap, radios get
+provisioned, attackers target hubs. This demo runs every named churn
+workload through the dynamic maintainer twice — repairing incrementally
+versus re-electing from scratch each epoch — and prints the lifetime
+cost of each policy. The invariant is verified after every epoch, so the
+energy numbers compare *valid* backbones only.
+
+Run:  python examples/churn_demo.py
+"""
+
+from repro.dynamic import WORKLOADS, make_workload, run_dynamic
+
+N = 150
+EPOCHS = 8
+SEED = 42
+ALGORITHM = "algorithm1"
+
+
+def main():
+    print(f"dynamic MIS maintenance: n={N}, {EPOCHS} epochs of churn, "
+          f"algorithm={ALGORITHM}\n")
+    header = (f"{'workload':22} {'strategy':15} {'rounds':>7} "
+              f"{'cum.energy':>11} {'max.energy':>11} {'repair':>7} "
+              f"{'churn':>6}")
+    print(header)
+    print("-" * len(header))
+
+    for name in sorted(WORKLOADS):
+        graph, timeline = make_workload(name, n=N, epochs=EPOCHS, seed=SEED)
+        for strategy in ("incremental", "full_recompute"):
+            result = run_dynamic(
+                graph, timeline, ALGORITHM, strategy=strategy, seed=SEED
+            )
+            assert result.all_valid  # verified after every epoch
+            print(f"{name:22} {strategy:15} {result.total_rounds:>7} "
+                  f"{result.cumulative_energy:>11} {result.max_energy:>11} "
+                  f"{result.total_repair_region:>7} "
+                  f"{result.total_mis_churn:>6}")
+        print()
+
+    print(
+        "Incremental repair wakes only the ≤2-hop neighborhood of each\n"
+        "update and re-elects just the uncovered region, so its lifetime\n"
+        "awake-round bill (the battery drain) stays far below re-running\n"
+        "the election — while maintaining exactly the same invariant."
+    )
+
+
+if __name__ == "__main__":
+    main()

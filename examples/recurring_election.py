@@ -1,70 +1,84 @@
-"""Recurring coordinator election under battery drain — a lifecycle study.
+"""Coordinator maintenance under battery drain — a lifecycle study.
 
-Sensor networks do not elect coordinators once: nodes fail, topology
-changes, and the election repeats. Each election drains every node's
-battery by the number of rounds it was awake. This example repeats MIS
-elections (with nodes dying when their battery empties) and reports how
-many election epochs the network survives under each algorithm — the
-operational meaning of worst-case energy complexity.
+Sensor networks do not elect coordinators once: nodes fail and the MIS
+backbone must be repaired. Earlier versions of this example faked churn
+by re-running the election from zero each epoch; it now drives the real
+dynamic subsystem (``repro.dynamic``) in closed loop. Each epoch every
+sensor pays a fixed sensing duty plus whatever awake-rounds MIS
+maintenance charged it; sensors die at zero battery, their departure is
+fed back to the maintainer as churn events, and the field dies below 50%
+coverage. Longevity is the operational meaning of energy complexity.
 
 Run:  python examples/recurring_election.py
 """
 
-import networkx as nx
-
 from repro import graphs
-from repro.baselines import luby_mis
-from repro.congest import EnergyLedger
-from repro.core import algorithm1, algorithm1_constant_average_energy
+from repro.dynamic import GraphEvent, MISMaintainer
+from repro.dynamic.events import NODE_REMOVE
 
 BATTERY = 400.0
+SENSING_DUTY = 2.0  # awake-rounds per epoch spent on the actual sensing job
 MAX_EPOCHS = 60
 ALIVE_FRACTION_FLOOR = 0.5  # network "dies" below 50% living sensors
 
 
-def simulate(name, runner, network, seed=0):
+def simulate(algorithm, strategy, network, seed=0):
+    maintainer = MISMaintainer(
+        network, algorithm, strategy=strategy, seed=seed
+    )
     batteries = {node: BATTERY for node in network.nodes}
-    alive = set(network.nodes)
-    epochs = 0
-    while epochs < MAX_EPOCHS:
-        graph = network.subgraph(alive).copy()
-        if graph.number_of_nodes() < ALIVE_FRACTION_FLOOR * len(network):
-            break
-        ledger = EnergyLedger(graph.nodes)
-        runner(graph, seed=seed + epochs, ledger=ledger)
-        epochs += 1
-        for node in list(alive):
-            batteries[node] -= ledger.awake_rounds(node)
+    charged = {node: 0 for node in network.nodes}
+
+    def drain():
+        """Bill each sensor its new awake-rounds; return the casualties."""
+        casualties = []
+        for node in maintainer.graph.nodes:
+            spent = maintainer.ledger.awake_rounds(node)
+            batteries[node] -= (spent - charged[node]) + SENSING_DUTY
+            charged[node] = spent
             if batteries[node] <= 0:
-                alive.discard(node)
-    survivors = len(alive)
-    return epochs, survivors
+                casualties.append(node)
+        return sorted(casualties)
+
+    epochs = 0
+    dead = drain()  # the initial election's bill
+    while epochs < MAX_EPOCHS:
+        alive = maintainer.graph.number_of_nodes() - len(dead)
+        if alive < ALIVE_FRACTION_FLOOR * len(network):
+            break
+        maintainer.apply_epoch([GraphEvent(NODE_REMOVE, v) for v in dead])
+        epochs += 1
+        dead = drain()
+    return epochs, maintainer.graph.number_of_nodes() - len(dead)
 
 
 def main():
     network = graphs.random_geometric(500, seed=11)
     print(f"sensor field: {network.number_of_nodes()} sensors, "
-          f"battery budget {BATTERY:.0f} awake-rounds each\n")
+          f"battery budget {BATTERY:.0f} awake-rounds each, "
+          f"sensing duty {SENSING_DUTY:.0f}/epoch\n")
 
-    contenders = {
-        "luby": lambda g, seed, ledger: luby_mis(g, seed=seed, ledger=ledger),
-        "algorithm1": lambda g, seed, ledger: algorithm1(
-            g, seed=seed, ledger=ledger),
-        "algorithm1_avg": lambda g, seed, ledger: (
-            algorithm1_constant_average_energy(g, seed=seed, ledger=ledger)),
-    }
+    contenders = [
+        ("luby", "full_recompute"),
+        ("algorithm1", "full_recompute"),
+        ("algorithm1", "incremental"),
+        ("algorithm1_avg", "incremental"),
+    ]
 
-    print(f"{'algorithm':{16}} {'epochs survived':>16} {'sensors alive':>14}")
-    for name, runner in contenders.items():
-        epochs, survivors = simulate(name, runner, network)
+    print(f"{'algorithm':16} {'strategy':15} {'epochs survived':>16} "
+          f"{'sensors alive':>14}")
+    for algorithm, strategy in contenders:
+        epochs, survivors = simulate(algorithm, strategy, network)
         capped = "+" if epochs >= MAX_EPOCHS else ""
-        print(f"{name:16} {epochs:>15}{capped:1} {survivors:>14}")
+        print(f"{algorithm:16} {strategy:15} {epochs:>15}{capped:1} "
+              f"{survivors:>14}")
 
     print(
-        "\nEach epoch charges every node its awake rounds; nodes die at"
-        "\nzero battery, and the field dies below 50% coverage. The"
-        "\nSection 4 variant shines here: most nodes barely wake per epoch,"
-        "\nso the fleet outlives both worst-case-oriented algorithms."
+        "\nRe-electing from scratch bills every sensor every epoch, so the"
+        "\nfleet burns out quickly regardless of the algorithm. Incremental"
+        "\nmaintenance only wakes the neighborhoods of failed sensors: the"
+        "\nbackbone outlives its batteries' sensing budget instead of its"
+        "\nelection budget."
     )
 
 

@@ -1,6 +1,21 @@
-"""Setup shim: lets ``pip install -e .`` work in offline environments whose
-setuptools predates PEP 660 editable wheels. All metadata is in
-``pyproject.toml``."""
+"""Setup shim for environments that cannot build PEP 660 editable wheels.
+
+All project metadata lives in ``pyproject.toml`` (the ``[project]`` table
+plus the ``[tool.setuptools]`` src-layout configuration). Normally you
+install with::
+
+    pip install -e .
+
+Offline/minimal environments whose toolchain lacks the ``wheel`` package
+(pip then refuses both the PEP 660 and the legacy editable paths) can fall
+back to::
+
+    python setup.py develop
+
+which produces the same importable editable install and the ``repro``
+console script without building a wheel. Running straight from a checkout
+with ``PYTHONPATH=src`` keeps working too.
+"""
 
 from setuptools import setup
 

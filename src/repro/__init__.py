@@ -14,7 +14,7 @@ Baselines (:func:`luby_mis`, :func:`ghaffari_mis`, greedy variants) and the
 verification/experiment tooling live in the subpackages re-exported below.
 """
 
-from . import analysis, baselines, cluster, congest, graphs, schedule
+from . import analysis, baselines, cluster, congest, dynamic, graphs, schedule
 from .baselines import ghaffari_mis, greedy_mis, luby_mis
 from .core import (
     DEFAULT_CONFIG,
@@ -40,6 +40,7 @@ __all__ = [
     "baselines",
     "cluster",
     "congest",
+    "dynamic",
     "ghaffari_mis",
     "graphs",
     "greedy_mis",

@@ -5,6 +5,8 @@ Examples::
     python -m repro --algorithm algorithm1 --family geometric --n 1000
     python -m repro --algorithm luby --family gnp_sqrt_degree --n 512 -v
     python -m repro --list
+    python -m repro dynamic --workload sensor_battery_decay -a algorithm1
+    python -m repro dynamic --workload link_flap --strategy full_recompute
 """
 
 from __future__ import annotations
@@ -17,13 +19,14 @@ from .graphs import FAMILIES, make_family
 from .harness import ALGORITHMS, run_algorithm
 
 
-def main(argv=None) -> int:
+def _static_main(argv) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
             "Reproduction of 'Distributed MIS with Low Energy and Time "
             "Complexities' (PODC 2023): run an MIS algorithm on a generated "
-            "graph and report time/energy."
+            "graph and report time/energy. (See also: "
+            "'python -m repro dynamic --help' for churn workloads.)"
         ),
     )
     parser.add_argument(
@@ -46,8 +49,11 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.list:
+        from .dynamic import WORKLOADS
+
         print("algorithms:", ", ".join(sorted(ALGORITHMS)))
         print("families:  ", ", ".join(sorted(FAMILIES)))
+        print("workloads: ", ", ".join(sorted(WORKLOADS)), "(via 'dynamic')")
         return 0
 
     graph = make_family(args.family, args.n, seed=args.seed)
@@ -70,6 +76,95 @@ def main(argv=None) -> int:
                   f"max_energy={phase.max_energy:5d} "
                   f"avg_energy={phase.average_energy:7.2f}")
     return 0 if report.independent else 2
+
+
+def _dynamic_main(argv) -> int:
+    from .dynamic import STRATEGIES, WORKLOADS
+    from .harness import run_dynamic_workload
+
+    parser = argparse.ArgumentParser(
+        prog="repro dynamic",
+        description=(
+            "Maintain an MIS across a churn timeline: apply batched "
+            "topology updates, repair the independent set, verify the "
+            "invariant after every epoch, and report lifetime time/energy."
+        ),
+    )
+    parser.add_argument(
+        "--workload", "-w", default="sensor_battery_decay",
+        choices=sorted(WORKLOADS), metavar="WORKLOAD",
+        help=f"one of {sorted(WORKLOADS)}",
+    )
+    parser.add_argument(
+        "--algorithm", "-a", default="algorithm1",
+        choices=sorted(ALGORITHMS), metavar="ALGORITHM",
+        help=f"one of {sorted(ALGORITHMS)}",
+    )
+    parser.add_argument(
+        "--strategy", default="incremental",
+        choices=list(STRATEGIES),
+        help="repair only the invalidated region, or re-elect from scratch",
+    )
+    parser.add_argument("--n", "-n", type=int, default=200)
+    parser.add_argument("--epochs", "-e", type=int, default=10)
+    parser.add_argument("--seed", "-s", type=int, default=0)
+    parser.add_argument(
+        "--verbose", "-v", action="store_true",
+        help="print the per-epoch timeline table",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list workloads and strategies"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        print("workloads: ", ", ".join(sorted(WORKLOADS)))
+        for name, workload in sorted(WORKLOADS.items()):
+            print(f"  {name}: {workload.description}")
+        print("strategies:", ", ".join(STRATEGIES))
+        return 0
+
+    # Record (rather than raise on) invariant violations so a failed
+    # w.h.p. run reports cleanly through the exit code below.
+    result = run_dynamic_workload(
+        args.workload,
+        args.algorithm,
+        strategy=args.strategy,
+        n=args.n,
+        epochs=args.epochs,
+        seed=args.seed,
+        check_invariant=False,
+    )
+
+    print(f"workload:           {args.workload}, n={args.n}, "
+          f"epochs={args.epochs}")
+    print(f"algorithm:          {result.algorithm} ({result.strategy})")
+    final = result.epochs[-1]
+    print(f"final topology:     n={final.nodes}, m={final.edges}, "
+          f"|MIS|={final.mis_size}")
+    print(f"total rounds:       {result.total_rounds}")
+    print(f"cumulative energy:  {result.cumulative_energy}")
+    print(f"max energy:         {result.max_energy}")
+    print(f"avg energy:         {result.average_energy:.2f}")
+    print(f"repair region (Σ):  {result.total_repair_region}")
+    print(f"MIS churn (Σ):      {result.total_mis_churn}")
+    print(f"invariant held:     {result.all_valid}")
+    if args.verbose:
+        print("timeline:")
+        print(f"  {'epoch':>5} {'events':>6} {'nodes':>6} {'|MIS|':>6} "
+              f"{'repair':>6} {'rounds':>6} {'energy':>7} {'churn':>6}")
+        for row in result.epochs:
+            print(f"  {row.epoch:>5} {row.events:>6} {row.nodes:>6} "
+                  f"{row.mis_size:>6} {row.repair_region:>6} "
+                  f"{row.rounds:>6} {row.energy:>7} {row.mis_churn:>6}")
+    return 0 if result.all_valid else 2
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "dynamic":
+        return _dynamic_main(argv[1:])
+    return _static_main(argv)
 
 
 if __name__ == "__main__":

@@ -40,6 +40,15 @@ class EnergyLedger:
         for node in nodes:
             self.charge(node, rounds)
 
+    def ensure_nodes(self, nodes: Iterable[int]) -> None:
+        """Start tracking ``nodes`` (at zero awake rounds) if not yet known.
+
+        Dynamic networks add nodes mid-timeline; already-known nodes keep
+        their accumulated energy untouched.
+        """
+        for node in nodes:
+            self._awake.setdefault(node, 0)
+
     def awake_rounds(self, node: int) -> int:
         return self._awake[node]
 

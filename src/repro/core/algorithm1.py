@@ -38,6 +38,7 @@ def algorithm1(
     *,
     config: AlgorithmConfig = DEFAULT_CONFIG,
     ledger: Optional[EnergyLedger] = None,
+    size_bound: Optional[int] = None,
 ) -> MISResult:
     """Compute an MIS of ``graph`` with Algorithm 1 of the paper.
 
@@ -49,6 +50,10 @@ def algorithm1(
         Master seed; phases derive independent sub-seeds from it.
     config:
         Constant-scaling knobs (see :class:`AlgorithmConfig`).
+    size_bound:
+        The ``n`` the round/energy schedules scale with; defaults to the
+        graph's size. Pass the deployment size when running on a subgraph
+        (e.g. dynamic repair regions) so schedules stay network-scaled.
 
     Returns
     -------
@@ -58,7 +63,7 @@ def algorithm1(
     """
     if graph.number_of_nodes() == 0:
         raise ValueError("algorithm1 needs a non-empty graph")
-    n = graph.number_of_nodes()
+    n = size_bound if size_bound is not None else graph.number_of_nodes()
     if ledger is None:
         ledger = EnergyLedger(graph.nodes)
 

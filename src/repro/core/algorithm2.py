@@ -30,6 +30,7 @@ def algorithm2(
     *,
     config: AlgorithmConfig = DEFAULT_CONFIG,
     ledger: Optional[EnergyLedger] = None,
+    size_bound: Optional[int] = None,
 ) -> MISResult:
     """Compute an MIS of ``graph`` with Algorithm 2 of the paper.
 
@@ -39,7 +40,7 @@ def algorithm2(
     """
     if graph.number_of_nodes() == 0:
         raise ValueError("algorithm2 needs a non-empty graph")
-    n = graph.number_of_nodes()
+    n = size_bound if size_bound is not None else graph.number_of_nodes()
     if ledger is None:
         ledger = EnergyLedger(graph.nodes)
 

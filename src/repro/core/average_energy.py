@@ -366,10 +366,11 @@ def _compose_average_energy(
     phase1_runner,
     name: str,
     variant: str,
+    size_bound: Optional[int] = None,
 ) -> MISResult:
     if graph.number_of_nodes() == 0:
         raise ValueError(f"{name} needs a non-empty graph")
-    n = graph.number_of_nodes()
+    n = size_bound if size_bound is not None else graph.number_of_nodes()
     if ledger is None:
         ledger = EnergyLedger(graph.nodes)
 
@@ -449,12 +450,13 @@ def algorithm1_constant_average_energy(
     *,
     config: AlgorithmConfig = DEFAULT_CONFIG,
     ledger: Optional[EnergyLedger] = None,
+    size_bound: Optional[int] = None,
 ) -> MISResult:
     """Algorithm 1 augmented per Section 4: O(1) node-averaged energy while
     keeping the Theorem 1.1 worst-case time/energy bounds."""
     return _compose_average_energy(
         graph, seed, config, ledger, run_phase1_alg1,
-        "algorithm1_avg_energy", "alg1",
+        "algorithm1_avg_energy", "alg1", size_bound=size_bound,
     )
 
 
@@ -464,9 +466,10 @@ def algorithm2_constant_average_energy(
     *,
     config: AlgorithmConfig = DEFAULT_CONFIG,
     ledger: Optional[EnergyLedger] = None,
+    size_bound: Optional[int] = None,
 ) -> MISResult:
     """Algorithm 2 augmented per Section 4."""
     return _compose_average_energy(
         graph, seed, config, ledger, run_phase1_alg2,
-        "algorithm2_avg_energy", "alg2",
+        "algorithm2_avg_energy", "alg2", size_bound=size_bound,
     )

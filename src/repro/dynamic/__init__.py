@@ -1,0 +1,73 @@
+"""Dynamic-network subsystem: MIS maintenance under churn.
+
+The static algorithms elect a coordinator backbone once; real battery-
+powered deployments then watch it erode — nodes die, radios join, links
+flap. This package simulates seeded timelines of such topology updates
+(:mod:`~repro.dynamic.events`), repairs the MIS incrementally on the
+invalidated region only (:mod:`~repro.dynamic.maintainer`), drives and
+verifies whole timelines (:mod:`~repro.dynamic.simulator`), and names
+ready-made end-to-end scenarios (:mod:`~repro.dynamic.workloads`)::
+
+    from repro.dynamic import make_workload, run_dynamic
+    graph, timeline = make_workload("sensor_battery_decay", n=200, epochs=10)
+    result = run_dynamic(graph, timeline, "algorithm1")
+    print(result.cumulative_energy, result.all_valid)
+"""
+
+from .events import (
+    EDGE_ADD,
+    EDGE_REMOVE,
+    NODE_ADD,
+    NODE_REMOVE,
+    GraphEvent,
+    adversarial_hub_deletion,
+    apply_epoch,
+    apply_event,
+    battery_deaths,
+    edge_churn,
+    node_growth,
+    poisson_link_flaps,
+    touched_nodes,
+)
+from .maintainer import (
+    FULL_RECOMPUTE,
+    INCREMENTAL,
+    STRATEGIES,
+    MISMaintainer,
+    RepairReport,
+)
+from .simulator import (
+    DynamicRunResult,
+    EpochResult,
+    MISInvariantError,
+    run_dynamic,
+)
+from .workloads import WORKLOADS, DynamicWorkload, make_workload
+
+__all__ = [
+    "EDGE_ADD",
+    "EDGE_REMOVE",
+    "FULL_RECOMPUTE",
+    "INCREMENTAL",
+    "NODE_ADD",
+    "NODE_REMOVE",
+    "STRATEGIES",
+    "WORKLOADS",
+    "DynamicRunResult",
+    "DynamicWorkload",
+    "EpochResult",
+    "GraphEvent",
+    "MISInvariantError",
+    "MISMaintainer",
+    "RepairReport",
+    "adversarial_hub_deletion",
+    "apply_epoch",
+    "apply_event",
+    "battery_deaths",
+    "edge_churn",
+    "make_workload",
+    "node_growth",
+    "poisson_link_flaps",
+    "run_dynamic",
+    "touched_nodes",
+]

@@ -1,0 +1,318 @@
+"""Seeded, deterministic churn-event streams for dynamic-network runs.
+
+The paper's motivating deployments (battery-powered radio/sensor networks,
+Section 1) are never static: sensors exhaust their batteries, new radios are
+provisioned, and wireless links flap with interference. This module models
+those topology changes as discrete :class:`GraphEvent`\\ s delivered in
+batches ("epochs"), matching the synchronized-batch dynamic-network model:
+all events of an epoch are applied atomically, then the MIS is repaired.
+
+Every generator is deterministic in its ``seed`` and *consistent*: it
+simulates the evolving topology internally, so each emitted event is valid
+at the moment it is applied (no deleting absent edges, no double-adds).
+
+Event kinds
+-----------
+``EDGE_ADD(u, v)``     a link appears between two existing nodes;
+``EDGE_REMOVE(u, v)``  an existing link disappears;
+``NODE_ADD(u)``        a new isolated node joins (attachments arrive as
+                       ``EDGE_ADD`` events in the same epoch);
+``NODE_REMOVE(u)``     a node leaves, dropping all incident edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+EDGE_ADD = "edge_add"
+EDGE_REMOVE = "edge_remove"
+NODE_ADD = "node_add"
+NODE_REMOVE = "node_remove"
+
+_KINDS = frozenset({EDGE_ADD, EDGE_REMOVE, NODE_ADD, NODE_REMOVE})
+
+
+@dataclass(frozen=True)
+class GraphEvent:
+    """One atomic topology update."""
+
+    kind: str
+    u: int
+    v: Optional[int] = None
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown event kind {self.kind!r}")
+        if self.kind in (EDGE_ADD, EDGE_REMOVE):
+            if self.v is None:
+                raise ValueError(f"{self.kind} needs two endpoints")
+            if self.u == self.v:
+                raise ValueError("self-loops are not allowed")
+        elif self.v is not None:
+            raise ValueError(f"{self.kind} takes a single node")
+
+    @property
+    def endpoints(self) -> Tuple[int, ...]:
+        return (self.u,) if self.v is None else (self.u, self.v)
+
+
+Epoch = List[GraphEvent]
+
+
+def apply_event(graph: nx.Graph, event: GraphEvent) -> None:
+    """Apply one event to ``graph`` in place, validating preconditions."""
+    if event.kind == EDGE_ADD:
+        if event.u not in graph or event.v not in graph:
+            raise KeyError(f"edge endpoints missing from graph: {event}")
+        if graph.has_edge(event.u, event.v):
+            raise ValueError(f"edge already present: {event}")
+        graph.add_edge(event.u, event.v)
+    elif event.kind == EDGE_REMOVE:
+        if not graph.has_edge(event.u, event.v):
+            raise ValueError(f"edge not present: {event}")
+        graph.remove_edge(event.u, event.v)
+    elif event.kind == NODE_ADD:
+        if event.u in graph:
+            raise ValueError(f"node already present: {event}")
+        graph.add_node(event.u)
+    else:  # NODE_REMOVE
+        if event.u not in graph:
+            raise KeyError(f"node not present: {event}")
+        graph.remove_node(event.u)
+
+
+def apply_epoch(graph: nx.Graph, epoch: Sequence[GraphEvent]) -> None:
+    """Apply one batch of events in order."""
+    for event in epoch:
+        apply_event(graph, event)
+
+
+def _rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(np.random.SeedSequence(seed))
+
+
+def _sample_absent_edge(graph, nodes, rng, tries: int = 64):
+    """One uniform-ish absent edge among ``nodes``, or None."""
+    if len(nodes) < 2:
+        return None
+    for _ in range(tries):
+        u, v = rng.choice(len(nodes), size=2, replace=False)
+        u, v = nodes[int(u)], nodes[int(v)]
+        if not graph.has_edge(u, v):
+            return (u, v) if u < v else (v, u)
+    return None
+
+
+class _EdgeList:
+    """Present edges as an O(1)-sample, O(1)-update list (deterministic).
+
+    Rebuilding ``sorted(graph.edges)`` per flip is quadratic in m; this
+    keeps a stable list updated by append/swap-pop instead, so generating
+    a timeline stays linear in the number of events.
+    """
+
+    def __init__(self, graph: nx.Graph):
+        self.edges = sorted(tuple(sorted(edge)) for edge in graph.edges)
+        self.index = {edge: i for i, edge in enumerate(self.edges)}
+
+    def __len__(self):
+        return len(self.edges)
+
+    def sample(self, rng) -> Tuple[int, int]:
+        return self.edges[int(rng.integers(len(self.edges)))]
+
+    def add(self, edge: Tuple[int, int]) -> None:
+        self.index[edge] = len(self.edges)
+        self.edges.append(edge)
+
+    def discard(self, edge: Tuple[int, int]) -> None:
+        slot = self.index.pop(edge)
+        last = self.edges.pop()
+        if last != edge:
+            self.edges[slot] = last
+            self.index[last] = slot
+
+
+def edge_churn(
+    graph: nx.Graph,
+    epochs: int,
+    flips_per_epoch: int = 4,
+    seed: int = 0,
+) -> List[Epoch]:
+    """Uniform link churn: each epoch toggles ``flips_per_epoch`` links.
+
+    Each flip is a fair coin between inserting a currently-absent edge and
+    deleting a currently-present one (degrading gracefully when the graph is
+    empty or complete).
+    """
+    if epochs < 0 or flips_per_epoch < 0:
+        raise ValueError("epochs and flips_per_epoch must be non-negative")
+    rng = _rng(seed)
+    work = graph.copy()
+    nodes = sorted(work.nodes)
+    present = _EdgeList(work)
+    timeline: List[Epoch] = []
+    for _ in range(epochs):
+        batch: Epoch = []
+        for _ in range(flips_per_epoch):
+            want_add = bool(rng.integers(2)) or not present
+            if want_add:
+                pair = _sample_absent_edge(work, nodes, rng)
+                if pair is None:
+                    continue
+                event = GraphEvent(EDGE_ADD, *pair)
+                present.add(pair)
+            else:
+                u, v = present.sample(rng)
+                event = GraphEvent(EDGE_REMOVE, u, v)
+                present.discard((u, v))
+            apply_event(work, event)
+            batch.append(event)
+        timeline.append(batch)
+    return timeline
+
+
+def poisson_link_flaps(
+    graph: nx.Graph,
+    epochs: int,
+    rate: float = 3.0,
+    seed: int = 0,
+) -> List[Epoch]:
+    """Interference-style link flapping: Poisson(``rate``) toggles per epoch.
+
+    A flap picks a *present* edge and drops it, or re-inserts a previously
+    dropped edge (so long-run topology hovers around the initial one, the
+    classic "flapping radio link" behavior).
+    """
+    if epochs < 0 or rate < 0:
+        raise ValueError("epochs and rate must be non-negative")
+    rng = _rng(seed)
+    work = graph.copy()
+    present = _EdgeList(work)
+    down: List[Tuple[int, int]] = []  # edges currently flapped out
+    timeline: List[Epoch] = []
+    for _ in range(epochs):
+        batch: Epoch = []
+        for _ in range(int(rng.poisson(rate))):
+            revive = down and bool(rng.integers(2))
+            if not revive and not present:
+                revive = bool(down)
+            if revive:
+                u, v = down.pop(int(rng.integers(len(down))))
+                event = GraphEvent(EDGE_ADD, u, v)
+                present.add((u, v))
+            else:
+                if not present:
+                    continue
+                u, v = present.sample(rng)
+                event = GraphEvent(EDGE_REMOVE, u, v)
+                present.discard((u, v))
+                down.append((u, v))
+            apply_event(work, event)
+            batch.append(event)
+        timeline.append(batch)
+    return timeline
+
+
+def battery_deaths(
+    graph: nx.Graph,
+    epochs: int,
+    deaths_per_epoch: int = 2,
+    seed: int = 0,
+) -> List[Epoch]:
+    """Battery-exhaustion churn: random alive nodes die each epoch.
+
+    Models the sensor-network failure mode the paper's energy measure is
+    built for — nodes stop participating once their battery empties, and the
+    coordinator backbone must be repaired around the holes.
+    """
+    if epochs < 0 or deaths_per_epoch < 0:
+        raise ValueError("epochs and deaths_per_epoch must be non-negative")
+    rng = _rng(seed)
+    alive = sorted(graph.nodes)
+    timeline: List[Epoch] = []
+    for _ in range(epochs):
+        batch: Epoch = []
+        kills = min(deaths_per_epoch, max(0, len(alive) - 1))
+        for _ in range(kills):
+            victim = alive.pop(int(rng.integers(len(alive))))
+            batch.append(GraphEvent(NODE_REMOVE, victim))
+        timeline.append(batch)
+    return timeline
+
+
+def node_growth(
+    graph: nx.Graph,
+    epochs: int,
+    joins_per_epoch: int = 2,
+    attachments: int = 2,
+    seed: int = 0,
+) -> List[Epoch]:
+    """Provisioning churn: new nodes join, each wiring to random old nodes.
+
+    Fresh ids continue past the current maximum so they never collide.
+    Every join emits one ``NODE_ADD`` plus up to ``attachments``
+    ``EDGE_ADD`` events in the same epoch.
+    """
+    if epochs < 0 or joins_per_epoch < 0 or attachments < 0:
+        raise ValueError("growth parameters must be non-negative")
+    rng = _rng(seed)
+    population = sorted(graph.nodes)
+    next_id = (max(population) + 1) if population else 0
+    timeline: List[Epoch] = []
+    for _ in range(epochs):
+        batch: Epoch = []
+        for _ in range(joins_per_epoch):
+            newcomer = next_id
+            next_id += 1
+            batch.append(GraphEvent(NODE_ADD, newcomer))
+            if population:
+                k = min(attachments, len(population))
+                picks = rng.choice(len(population), size=k, replace=False)
+                for index in sorted(int(i) for i in picks):
+                    batch.append(
+                        GraphEvent(EDGE_ADD, population[index], newcomer)
+                    )
+            population.append(newcomer)
+        timeline.append(batch)
+    return timeline
+
+
+def adversarial_hub_deletion(
+    graph: nx.Graph,
+    epochs: int,
+    hubs_per_epoch: int = 1,
+) -> List[Epoch]:
+    """Targeted attack: delete the highest-degree surviving node(s) each epoch.
+
+    Deterministic (ties broken by node id). On heavy-tailed graphs
+    (``barabasi_albert``) this maximizes the repair region per event, the
+    worst case for incremental maintenance.
+    """
+    if epochs < 0 or hubs_per_epoch < 0:
+        raise ValueError("epochs and hubs_per_epoch must be non-negative")
+    work = graph.copy()
+    timeline: List[Epoch] = []
+    for _ in range(epochs):
+        batch: Epoch = []
+        for _ in range(hubs_per_epoch):
+            if work.number_of_nodes() <= 1:
+                break
+            hub = max(sorted(work.nodes), key=lambda v: (work.degree(v), -v))
+            event = GraphEvent(NODE_REMOVE, hub)
+            apply_event(work, event)
+            batch.append(event)
+        timeline.append(batch)
+    return timeline
+
+
+def touched_nodes(epoch: Iterable[GraphEvent]) -> List[int]:
+    """All node ids named by an epoch's events (sorted, deduplicated)."""
+    seen = set()
+    for event in epoch:
+        seen.update(event.endpoints)
+    return sorted(seen)

@@ -1,0 +1,125 @@
+"""Named end-to-end churn scenarios (the dynamic ``graphs.FAMILIES``).
+
+Each workload bundles an initial topology with a matching churn-event
+timeline, so a whole dynamic experiment is one name::
+
+    graph, timeline = make_workload("sensor_battery_decay", n=200, epochs=10)
+    result = run_dynamic(graph, timeline, "algorithm1")
+
+Scenarios
+---------
+``sensor_battery_decay``
+    Geometric sensor field; ~1% of nodes exhaust their battery per epoch.
+    The paper's motivating deployment.
+``link_flap``
+    Geometric field with Poisson radio-link flapping around the initial
+    topology (interference, weather, mobility at the fringe).
+``growth``
+    A small bootstrap network that keeps provisioning new radios, each
+    attaching to a couple of in-range predecessors.
+``adversarial_hubs``
+    Heavy-tailed (preferential-attachment) network under targeted
+    highest-degree deletion — the worst case for local repair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+import networkx as nx
+
+from ..graphs import generators
+from .events import (
+    Epoch,
+    adversarial_hub_deletion,
+    battery_deaths,
+    node_growth,
+    poisson_link_flaps,
+)
+
+WorkloadFactory = Callable[[int, int, int], Tuple[nx.Graph, List[Epoch]]]
+
+
+@dataclass(frozen=True)
+class DynamicWorkload:
+    """A named (initial graph, churn timeline) recipe."""
+
+    name: str
+    description: str
+    factory: WorkloadFactory
+
+    def build(
+        self, n: int = 200, epochs: int = 10, seed: int = 0
+    ) -> Tuple[nx.Graph, List[Epoch]]:
+        if n < 1:
+            raise ValueError(f"workload size must be positive, got n={n}")
+        if epochs < 0:
+            raise ValueError(f"epochs must be non-negative, got {epochs}")
+        return self.factory(n, epochs, seed)
+
+
+def _sensor_battery_decay(n, epochs, seed):
+    graph = generators.random_geometric(n, seed=seed)
+    deaths = max(1, n // 100)
+    return graph, battery_deaths(
+        graph, epochs, deaths_per_epoch=deaths, seed=seed + 1
+    )
+
+
+def _link_flap(n, epochs, seed):
+    graph = generators.random_geometric(n, seed=seed)
+    rate = max(2.0, graph.number_of_edges() / 50.0)
+    return graph, poisson_link_flaps(graph, epochs, rate=rate, seed=seed + 1)
+
+
+def _growth(n, epochs, seed):
+    bootstrap = max(2, n // 4)
+    graph = generators.random_geometric(bootstrap, seed=seed)
+    joins = max(1, (n - bootstrap) // max(1, epochs))
+    return graph, node_growth(
+        graph, epochs, joins_per_epoch=joins, attachments=2, seed=seed + 1
+    )
+
+
+def _adversarial_hubs(n, epochs, seed):
+    graph = generators.barabasi_albert(n, 3, seed=seed)
+    return graph, adversarial_hub_deletion(graph, epochs, hubs_per_epoch=1)
+
+
+WORKLOADS: Dict[str, DynamicWorkload] = {
+    workload.name: workload
+    for workload in (
+        DynamicWorkload(
+            "sensor_battery_decay",
+            "geometric sensor field, ~1%/epoch battery deaths",
+            _sensor_battery_decay,
+        ),
+        DynamicWorkload(
+            "link_flap",
+            "geometric field, Poisson radio-link flapping",
+            _link_flap,
+        ),
+        DynamicWorkload(
+            "growth",
+            "bootstrap network provisioning new radios every epoch",
+            _growth,
+        ),
+        DynamicWorkload(
+            "adversarial_hubs",
+            "preferential-attachment graph under targeted hub deletion",
+            _adversarial_hubs,
+        ),
+    )
+}
+
+
+def make_workload(
+    name: str, n: int = 200, epochs: int = 10, seed: int = 0
+) -> Tuple[nx.Graph, List[Epoch]]:
+    """Instantiate a registered workload by name."""
+    if name not in WORKLOADS:
+        raise KeyError(
+            f"unknown dynamic workload {name!r}; have {sorted(WORKLOADS)}"
+        )
+    return WORKLOADS[name].build(n=n, epochs=epochs, seed=seed)

@@ -1,7 +1,13 @@
 """Experiment harness: runner, sweeps, tables, and the E1–E11/A1–A3 registry."""
 
 from .experiments import DESCRIPTIONS, REGISTRY, run_all, run_experiment
-from .runner import ALGORITHMS, measure, run_algorithm
+from .runner import (
+    ALGORITHMS,
+    measure,
+    measure_dynamic,
+    run_algorithm,
+    run_dynamic_workload,
+)
 from .sweep import SweepPoint, series, sweep
 from .tables import format_table, section
 
@@ -12,7 +18,9 @@ __all__ = [
     "SweepPoint",
     "format_table",
     "measure",
+    "measure_dynamic",
     "run_algorithm",
+    "run_dynamic_workload",
     "run_all",
     "run_experiment",
     "section",

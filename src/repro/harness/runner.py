@@ -27,20 +27,28 @@ ALGORITHMS: Dict[str, Callable[..., MISResult]] = {
 }
 
 
-def run_algorithm(name: str, graph: nx.Graph, seed: int = 0) -> MISResult:
-    """Run one registered algorithm by name."""
+def run_algorithm(
+    name: str, graph: nx.Graph, seed: int = 0, **kwargs
+) -> MISResult:
+    """Run one registered algorithm by name.
+
+    Extra keyword arguments (``config=``, ``ledger=``, ``size_bound=``, ...)
+    are forwarded to the underlying algorithm untouched.
+    """
     if name not in ALGORITHMS:
         raise KeyError(f"unknown algorithm {name!r}; have {sorted(ALGORITHMS)}")
-    return ALGORITHMS[name](graph, seed)
+    return ALGORITHMS[name](graph, seed, **kwargs)
 
 
-def measure(name: str, graph: nx.Graph, seed: int = 0) -> Dict[str, float]:
+def measure(name: str, graph: nx.Graph, seed: int = 0, **kwargs) -> Dict[str, float]:
     """Run an algorithm and flatten the interesting numbers into one dict.
 
     Keys: ``rounds``, ``max_energy``, ``average_energy``, ``mis_size``,
     ``independent``, ``maximal`` (booleans as 0/1 so trials aggregate).
+    Keyword arguments are forwarded to the algorithm as in
+    :func:`run_algorithm`.
     """
-    result = run_algorithm(name, graph, seed=seed)
+    result = run_algorithm(name, graph, seed=seed, **kwargs)
     report = verify_mis(graph, result.mis)
     return {
         "rounds": float(result.rounds),
@@ -50,3 +58,51 @@ def measure(name: str, graph: nx.Graph, seed: int = 0) -> Dict[str, float]:
         "independent": 1.0 if report.independent else 0.0,
         "maximal": 1.0 if report.maximal else 0.0,
     }
+
+
+def run_dynamic_workload(
+    workload: str,
+    algorithm: str = "algorithm1",
+    *,
+    strategy: str = "incremental",
+    n: int = 200,
+    epochs: int = 10,
+    seed: int = 0,
+    **kwargs,
+):
+    """Run a named churn workload end-to-end; returns a ``DynamicRunResult``.
+
+    The dynamic analogue of :func:`run_algorithm`: resolves the workload
+    from :data:`repro.dynamic.WORKLOADS` and the algorithm from
+    :data:`ALGORITHMS`, then maintains the MIS across the whole timeline
+    (verifying the invariant after every epoch).
+    """
+    from ..dynamic import make_workload, run_dynamic  # deferred: import cycle
+
+    graph, timeline = make_workload(workload, n=n, epochs=epochs, seed=seed)
+    return run_dynamic(
+        graph, timeline, algorithm, strategy=strategy, seed=seed, **kwargs
+    )
+
+
+def measure_dynamic(
+    workload: str,
+    algorithm: str = "algorithm1",
+    *,
+    strategy: str = "incremental",
+    n: int = 200,
+    epochs: int = 10,
+    seed: int = 0,
+    **kwargs,
+) -> Dict[str, float]:
+    """Flatten a dynamic run into one dict (see ``DynamicRunResult.summary``)."""
+    result = run_dynamic_workload(
+        workload,
+        algorithm,
+        strategy=strategy,
+        n=n,
+        epochs=epochs,
+        seed=seed,
+        **kwargs,
+    )
+    return result.summary()

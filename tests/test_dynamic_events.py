@@ -1,0 +1,149 @@
+"""Tests for churn-event streams: validity, determinism, application."""
+
+import networkx as nx
+import pytest
+
+from repro import graphs
+from repro.dynamic import (
+    EDGE_ADD,
+    EDGE_REMOVE,
+    NODE_ADD,
+    NODE_REMOVE,
+    GraphEvent,
+    adversarial_hub_deletion,
+    apply_epoch,
+    apply_event,
+    battery_deaths,
+    edge_churn,
+    node_growth,
+    poisson_link_flaps,
+    touched_nodes,
+)
+
+
+class TestGraphEvent:
+    def test_edge_event_needs_two_endpoints(self):
+        with pytest.raises(ValueError):
+            GraphEvent(EDGE_ADD, 1)
+
+    def test_node_event_takes_one(self):
+        with pytest.raises(ValueError):
+            GraphEvent(NODE_REMOVE, 1, 2)
+
+    def test_no_self_loops(self):
+        with pytest.raises(ValueError):
+            GraphEvent(EDGE_ADD, 3, 3)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            GraphEvent("teleport", 1)
+
+    def test_endpoints(self):
+        assert GraphEvent(EDGE_ADD, 1, 2).endpoints == (1, 2)
+        assert GraphEvent(NODE_ADD, 7).endpoints == (7,)
+
+
+class TestApply:
+    def test_apply_edge_add_and_remove(self):
+        graph = graphs.empty_graph(3)
+        apply_event(graph, GraphEvent(EDGE_ADD, 0, 1))
+        assert graph.has_edge(0, 1)
+        apply_event(graph, GraphEvent(EDGE_REMOVE, 0, 1))
+        assert not graph.has_edge(0, 1)
+
+    def test_apply_node_lifecycle(self):
+        graph = graphs.path(3)
+        apply_event(graph, GraphEvent(NODE_ADD, 10))
+        assert 10 in graph
+        apply_event(graph, GraphEvent(NODE_REMOVE, 1))
+        assert 1 not in graph and graph.number_of_edges() == 0
+
+    def test_invalid_preconditions_raise(self):
+        graph = graphs.path(3)
+        with pytest.raises(ValueError):
+            apply_event(graph, GraphEvent(EDGE_ADD, 0, 1))  # already there
+        with pytest.raises(ValueError):
+            apply_event(graph, GraphEvent(EDGE_REMOVE, 0, 2))  # not there
+        with pytest.raises(KeyError):
+            apply_event(graph, GraphEvent(EDGE_ADD, 0, 99))  # missing node
+        with pytest.raises(ValueError):
+            apply_event(graph, GraphEvent(NODE_ADD, 2))  # already there
+        with pytest.raises(KeyError):
+            apply_event(graph, GraphEvent(NODE_REMOVE, 99))  # not there
+
+    def test_touched_nodes(self):
+        epoch = [GraphEvent(EDGE_ADD, 4, 2), GraphEvent(NODE_REMOVE, 2)]
+        assert touched_nodes(epoch) == [2, 4]
+
+
+ALL_GENERATORS = {
+    "edge_churn": lambda g, seed: edge_churn(g, 5, 4, seed=seed),
+    "poisson_link_flaps": lambda g, seed: poisson_link_flaps(
+        g, 5, rate=3.0, seed=seed
+    ),
+    "battery_deaths": lambda g, seed: battery_deaths(g, 5, 2, seed=seed),
+    "node_growth": lambda g, seed: node_growth(g, 5, 2, 2, seed=seed),
+    "adversarial_hub_deletion": lambda g, seed: adversarial_hub_deletion(g, 5, 1),
+}
+
+
+@pytest.mark.parametrize("name", sorted(ALL_GENERATORS))
+class TestGenerators:
+    def test_deterministic_in_seed(self, name):
+        graph = graphs.random_geometric(40, seed=7)
+        make = ALL_GENERATORS[name]
+        assert make(graph, 123) == make(graph, 123)
+
+    def test_events_replay_cleanly(self, name):
+        """Every emitted event is valid at its application point."""
+        graph = graphs.random_geometric(40, seed=7)
+        work = graph.copy()
+        for epoch in ALL_GENERATORS[name](graph, 5):
+            apply_epoch(work, epoch)  # raises on any invalid event
+        assert work.number_of_nodes() >= 1
+
+    def test_generator_does_not_mutate_input(self, name):
+        graph = graphs.random_geometric(40, seed=7)
+        reference = graph.copy()
+        ALL_GENERATORS[name](graph, 9)
+        assert nx.utils.graphs_equal(graph, reference)
+
+
+class TestGeneratorShapes:
+    def test_battery_deaths_removes_distinct_nodes(self):
+        graph = graphs.random_geometric(30, seed=1)
+        timeline = battery_deaths(graph, 4, deaths_per_epoch=3, seed=2)
+        victims = [e.u for epoch in timeline for e in epoch]
+        assert len(victims) == len(set(victims)) == 12
+        assert all(v in graph for v in victims)
+
+    def test_battery_deaths_never_empties_graph(self):
+        graph = graphs.path(4)
+        timeline = battery_deaths(graph, 10, deaths_per_epoch=3, seed=0)
+        assert sum(len(epoch) for epoch in timeline) == 3  # stops at 1 node
+
+    def test_node_growth_ids_are_fresh(self):
+        graph = graphs.path(5)
+        timeline = node_growth(graph, 3, joins_per_epoch=2, seed=0)
+        joins = [
+            e.u for epoch in timeline for e in epoch if e.kind == NODE_ADD
+        ]
+        assert joins == list(range(5, 11))
+
+    def test_hub_deletion_targets_max_degree(self):
+        graph = graphs.star(10)
+        (first, *_), = adversarial_hub_deletion(graph, 1, 1)
+        assert first.kind == NODE_REMOVE and first.u == 0  # the hub
+
+    def test_negative_parameters_rejected(self):
+        graph = graphs.path(4)
+        with pytest.raises(ValueError):
+            edge_churn(graph, -1)
+        with pytest.raises(ValueError):
+            battery_deaths(graph, 3, deaths_per_epoch=-2)
+        with pytest.raises(ValueError):
+            poisson_link_flaps(graph, 3, rate=-1.0)
+        with pytest.raises(ValueError):
+            node_growth(graph, 3, joins_per_epoch=-1)
+        with pytest.raises(ValueError):
+            adversarial_hub_deletion(graph, 3, hubs_per_epoch=-1)

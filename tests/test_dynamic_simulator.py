@@ -1,0 +1,150 @@
+"""Tests for the timeline driver: verification, accounting, determinism."""
+
+import pytest
+
+from repro import graphs
+from repro.dynamic import (
+    WORKLOADS,
+    GraphEvent,
+    MISInvariantError,
+    MISMaintainer,
+    make_workload,
+    run_dynamic,
+)
+from repro.dynamic.events import NODE_REMOVE, battery_deaths
+from repro.harness import measure_dynamic, run_dynamic_workload
+
+
+class TestRunDynamic:
+    def test_epoch_zero_is_initial_election(self):
+        graph = graphs.random_geometric(30, seed=1)
+        result = run_dynamic(graph, [], "luby", seed=1)
+        assert len(result.epochs) == 1
+        first = result.epochs[0]
+        assert first.epoch == 0 and first.events == 0
+        assert first.nodes == 30
+        assert first.valid
+
+    def test_per_epoch_rows_and_cumulative_sums(self):
+        graph = graphs.random_geometric(40, seed=2)
+        timeline = battery_deaths(graph, 5, deaths_per_epoch=2, seed=3)
+        result = run_dynamic(graph, timeline, "luby", seed=2)
+        assert len(result.epochs) == 6
+        assert [row.epoch for row in result.epochs] == list(range(6))
+        assert result.epochs[-1].nodes == 30
+        assert result.all_valid
+        assert result.epochs[-1].cumulative_energy == sum(
+            row.energy for row in result.epochs
+        )
+        assert result.epochs[-1].cumulative_rounds == sum(
+            row.rounds for row in result.epochs
+        )
+        # ledger totals must agree with the per-epoch energy stream
+        assert result.cumulative_energy == result.epochs[-1].cumulative_energy
+
+    def test_lifetime_energy_counts_departed_nodes(self):
+        graph = graphs.random_geometric(40, seed=2)
+        timeline = battery_deaths(graph, 5, deaths_per_epoch=2, seed=3)
+        result = run_dynamic(graph, timeline, "luby", seed=2)
+        assert len(result.ledger_snapshot) == 40  # 10 died, still on the books
+        assert result.average_energy == result.cumulative_energy / 40
+
+    def test_invariant_error_raised_on_bad_algorithm(self):
+        def broken(graph, seed=0, ledger=None, **kwargs):
+            from repro.baselines import luby_mis
+
+            result = luby_mis(graph, seed=seed, ledger=ledger)
+            result.mis.clear()  # never elects anyone: nothing is covered
+            return result
+
+        graph = graphs.path(6)
+        with pytest.raises(MISInvariantError):
+            run_dynamic(graph, [], broken)
+
+    def test_invariant_flag_mode_records_failure(self):
+        def broken(graph, seed=0, ledger=None, **kwargs):
+            from repro.baselines import luby_mis
+
+            result = luby_mis(graph, seed=seed, ledger=ledger)
+            result.mis.clear()
+            return result
+
+        graph = graphs.path(6)
+        result = run_dynamic(graph, [], broken, check_invariant=False)
+        assert not result.all_valid
+        assert not result.epochs[0].maximal
+
+    def test_deterministic_in_seed(self):
+        graph, timeline = make_workload("link_flap", n=40, epochs=4, seed=5)
+
+        def summary():
+            return run_dynamic(
+                graph, timeline, "algorithm1", seed=5
+            ).summary()
+
+        assert summary() == summary()
+
+    def test_graph_can_shrink_to_empty(self):
+        graph = graphs.empty_graph(3)
+        timeline = [[GraphEvent(NODE_REMOVE, v)] for v in range(3)]
+        result = run_dynamic(graph, timeline, "luby")
+        assert result.epochs[-1].nodes == 0
+        assert result.epochs[-1].mis_size == 0
+        assert result.all_valid
+
+
+class TestStrategies:
+    @pytest.mark.parametrize("workload", sorted(WORKLOADS))
+    def test_both_strategies_hold_invariant(self, workload):
+        graph, timeline = make_workload(workload, n=40, epochs=3, seed=7)
+        for strategy in ("incremental", "full_recompute"):
+            result = run_dynamic(
+                graph, timeline, "luby", strategy=strategy, seed=7
+            )
+            assert result.all_valid
+
+    def test_incremental_is_cheaper_on_battery_decay(self):
+        graph, timeline = make_workload(
+            "sensor_battery_decay", n=80, epochs=6, seed=11
+        )
+        incremental = run_dynamic(
+            graph, timeline, "luby", strategy="incremental", seed=11
+        )
+        full = run_dynamic(
+            graph, timeline, "luby", strategy="full_recompute", seed=11
+        )
+        assert incremental.cumulative_energy < full.cumulative_energy
+        assert incremental.total_rounds < full.total_rounds
+
+
+class TestHarnessEntryPoints:
+    def test_run_dynamic_workload(self):
+        result = run_dynamic_workload(
+            "sensor_battery_decay", "luby", n=40, epochs=3, seed=1
+        )
+        assert result.all_valid
+        assert len(result.epochs) == 4
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(KeyError):
+            run_dynamic_workload("meteor_strike")
+
+    def test_measure_dynamic_keys(self):
+        outcome = measure_dynamic("growth", "luby", n=24, epochs=2, seed=0)
+        assert set(outcome) == {
+            "epochs", "total_rounds", "cumulative_energy", "max_energy",
+            "average_energy", "total_repair_region", "total_mis_churn",
+            "all_valid",
+        }
+        assert outcome["all_valid"] == 1.0
+        assert outcome["epochs"] == 2.0
+
+
+class TestMaintainerTimeline:
+    def test_run_timeline_generator(self):
+        graph = graphs.random_geometric(30, seed=0)
+        timeline = battery_deaths(graph, 3, deaths_per_epoch=1, seed=1)
+        maintainer = MISMaintainer(graph, "luby")
+        reports = list(maintainer.run_timeline(timeline))
+        assert [r.epoch for r in reports] == [1, 2, 3]
+        assert maintainer.graph.number_of_nodes() == 27
