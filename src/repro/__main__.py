@@ -40,6 +40,14 @@ def _static_main(argv) -> int:
     parser.add_argument("--n", "-n", type=int, default=512)
     parser.add_argument("--seed", "-s", type=int, default=0)
     parser.add_argument(
+        "--seeds", type=int, default=1, metavar="K",
+        help="run K seeds (seed, seed+1, ...) and report per-seed + mean",
+    )
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help="worker processes for multi-seed runs (-1 = all cores)",
+    )
+    parser.add_argument(
         "--verbose", "-v", action="store_true",
         help="print the per-phase breakdown",
     )
@@ -55,6 +63,9 @@ def _static_main(argv) -> int:
         print("families:  ", ", ".join(sorted(FAMILIES)))
         print("workloads: ", ", ".join(sorted(WORKLOADS)), "(via 'dynamic')")
         return 0
+
+    if args.seeds > 1:
+        return _static_multi_seed(args)
 
     graph = make_family(args.family, args.n, seed=args.seed)
     result = run_algorithm(args.algorithm, graph, seed=args.seed)
@@ -76,6 +87,32 @@ def _static_main(argv) -> int:
                   f"max_energy={phase.max_energy:5d} "
                   f"avg_energy={phase.average_energy:7.2f}")
     return 0 if report.independent else 2
+
+
+def _static_multi_seed(args) -> int:
+    """Run one algorithm across several seeds (optionally in parallel)."""
+    from .harness import measure_many
+
+    seeds = list(range(args.seed, args.seed + args.seeds))
+    tasks = [(args.algorithm, args.family, args.n, seed) for seed in seeds]
+    outcomes = measure_many(tasks, n_jobs=args.jobs)
+
+    print(f"graph:     {args.family}, n={args.n}")
+    print(f"algorithm: {args.algorithm}, seeds {seeds[0]}..{seeds[-1]}, "
+          f"jobs={args.jobs}")
+    keys = ["rounds", "max_energy", "average_energy", "mis_size",
+            "independent", "maximal"]
+    header = f"{'seed':>6} " + " ".join(f"{key:>14}" for key in keys)
+    print(header)
+    for seed, outcome in zip(seeds, outcomes):
+        print(f"{seed:>6} "
+              + " ".join(f"{outcome[key]:>14.2f}" for key in keys))
+    means = {
+        key: sum(outcome[key] for outcome in outcomes) / len(outcomes)
+        for key in keys
+    }
+    print(f"{'mean':>6} " + " ".join(f"{means[key]:>14.2f}" for key in keys))
+    return 0 if means["independent"] == 1.0 else 2
 
 
 def _dynamic_main(argv) -> int:
@@ -109,6 +146,14 @@ def _dynamic_main(argv) -> int:
     parser.add_argument("--epochs", "-e", type=int, default=10)
     parser.add_argument("--seed", "-s", type=int, default=0)
     parser.add_argument(
+        "--seeds", type=int, default=1, metavar="K",
+        help="run K seeds (seed, seed+1, ...) and report summary means",
+    )
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help="worker processes for multi-seed runs (-1 = all cores)",
+    )
+    parser.add_argument(
         "--verbose", "-v", action="store_true",
         help="print the per-epoch timeline table",
     )
@@ -123,6 +168,27 @@ def _dynamic_main(argv) -> int:
             print(f"  {name}: {workload.description}")
         print("strategies:", ", ".join(STRATEGIES))
         return 0
+
+    if args.seeds > 1:
+        from .harness import measure_dynamic_many
+
+        seeds = list(range(args.seed, args.seed + args.seeds))
+        tasks = [
+            (args.workload, args.algorithm, args.strategy, args.n,
+             args.epochs, seed)
+            for seed in seeds
+        ]
+        summaries = measure_dynamic_many(tasks, n_jobs=args.jobs)
+        print(f"workload:  {args.workload}, n={args.n}, epochs={args.epochs}")
+        print(f"algorithm: {args.algorithm} ({args.strategy}), "
+              f"seeds {seeds[0]}..{seeds[-1]}, jobs={args.jobs}")
+        keys = sorted(summaries[0])
+        for key in keys:
+            values = [summary[key] for summary in summaries]
+            print(f"  {key:20s} mean={sum(values) / len(values):10.2f} "
+                  f"min={min(values):10.2f} max={max(values):10.2f}")
+        all_valid = all(summary["all_valid"] == 1.0 for summary in summaries)
+        return 0 if all_valid else 2
 
     # Record (rather than raise on) invariant violations so a failed
     # w.h.p. run reports cleanly through the exit code below.

@@ -17,9 +17,9 @@ from .errors import (
     SchedulingError,
     SimulationLimitError,
 )
-from .message import Message, default_bit_budget, payload_bits
+from .message import Message, default_bit_budget, payload_bits, payload_bits_cached
 from .metrics import EnergyLedger, RunMetrics
-from .network import Network, run_uniform_program
+from .network import Network, legacy_engine, run_uniform_program, set_legacy_mode
 from .program import Context, NodeProgram
 from .trace import NetworkTrace, RoundRecord
 
@@ -39,6 +39,9 @@ __all__ = [
     "SchedulingError",
     "SimulationLimitError",
     "default_bit_budget",
+    "legacy_engine",
     "payload_bits",
+    "payload_bits_cached",
     "run_uniform_program",
+    "set_legacy_mode",
 ]

@@ -64,6 +64,32 @@ def payload_bits(payload: Any) -> int:
     raise TypeError(f"cannot price payload of type {type(payload).__name__}")
 
 
+# The engine prices every payload twice (once at ``send`` for the budget
+# check, once at delivery for the bit counters), and algorithms send the
+# same few payload shapes millions of times.  A bounded memo keyed by
+# ``(type, value)`` makes repeat pricing a dict hit; the type tag keeps
+# ``True`` and ``1`` (equal, but priced differently) apart.  Unhashable
+# payloads (nested lists, dicts) fall through to the recursive pricer.
+_BITS_CACHE: dict = {}
+_BITS_CACHE_LIMIT = 4096
+
+
+def payload_bits_cached(payload: Any) -> int:
+    """Memoized :func:`payload_bits` for hashable payloads."""
+    if payload is None:
+        return 0
+    key = (type(payload), payload)
+    try:
+        return _BITS_CACHE[key]
+    except KeyError:
+        bits = payload_bits(payload)
+        if len(_BITS_CACHE) < _BITS_CACHE_LIMIT:
+            _BITS_CACHE[key] = bits
+        return bits
+    except TypeError:
+        return payload_bits(payload)
+
+
 @dataclass(frozen=True)
 class Message:
     """A single CONGEST message: who sent it and what it carries."""

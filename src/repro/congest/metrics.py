@@ -37,8 +37,12 @@ class EnergyLedger:
         self._awake[node] += rounds
 
     def charge_many(self, nodes: Iterable[int], rounds: int = 1) -> None:
+        """Charge every node in ``nodes``; the engine's per-round hot call."""
+        if rounds < 0:
+            raise ValueError(f"cannot charge negative rounds ({rounds})")
+        awake = self._awake
         for node in nodes:
-            self.charge(node, rounds)
+            awake[node] += rounds
 
     def ensure_nodes(self, nodes: Iterable[int]) -> None:
         """Start tracking ``nodes`` (at zero awake rounds) if not yet known.

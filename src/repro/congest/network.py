@@ -13,19 +13,64 @@ Round structure (matching Section 1.1 of the paper):
 3. every awake node runs ``on_receive`` with what reached it.
 
 Each awake round charges exactly one unit of energy per awake node.
+
+Performance model
+-----------------
+
+The engine's whole reason to exist is simulating algorithms whose nodes
+sleep almost always, so the hot path is built around *awake events*, not
+rounds:
+
+* pending wake rounds live in a min-heap (``_wake_heap``), so finding the
+  next event and :meth:`Network.has_pending_work` are O(1) amortized;
+* when no node is in always-awake mode, :meth:`Network.run` fast-forwards
+  ``round_index`` straight to the next scheduled wake — idle rounds still
+  count for time complexity and appear in the trace (as compact idle
+  spans), but a batch of them costs O(1);
+* :meth:`Network.step` avoids per-round re-sorting of the awake set, builds
+  inboxes lazily, and skips all trace bookkeeping when tracing is off.
+
+``Network.run(legacy=True)`` (or the :func:`legacy_engine` switch) restores
+the naive one-``step``-per-round loop; the two paths are bit-identical in
+outputs, metrics, and ledger state (see ``tests/test_engine_equivalence.py``).
 """
 
 from __future__ import annotations
 
+import heapq
+from contextlib import contextmanager
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 import networkx as nx
 import numpy as np
 
 from .errors import SchedulingError, SimulationLimitError
-from .message import Message, default_bit_budget, payload_bits
+from .message import Message, default_bit_budget, payload_bits_cached
 from .metrics import EnergyLedger, RunMetrics
 from .program import Context, NodeProgram
+
+# Module-level switch so whole algorithm drivers (which call ``network.run()``
+# internally) can be forced onto the naive per-round loop for equivalence
+# testing without threading a flag through every call site.
+_LEGACY_MODE = False
+
+
+def set_legacy_mode(enabled: bool) -> None:
+    """Globally force (or stop forcing) the naive per-round run loop."""
+    global _LEGACY_MODE
+    _LEGACY_MODE = bool(enabled)
+
+
+@contextmanager
+def legacy_engine():
+    """Context manager: run every ``Network.run`` inside with ``legacy=True``."""
+    global _LEGACY_MODE
+    previous = _LEGACY_MODE
+    _LEGACY_MODE = True
+    try:
+        yield
+    finally:
+        _LEGACY_MODE = previous
 
 
 class Network:
@@ -90,10 +135,18 @@ class Network:
 
         # Wake bookkeeping: nodes in always-awake mode run every round;
         # scheduled nodes run only at rounds present in ``_wake_calendar``.
-        # ``_always_on`` mirrors the contexts' mode flags so each round costs
-        # O(#awake) rather than O(n).
+        # ``_wake_heap`` holds every round that has (or once had) a calendar
+        # entry, so the next wake event is a heap peek; ``_node_schedules``
+        # inverts the calendar so a halting node can prune its dead entries.
         self._wake_calendar: Dict[int, Set[int]] = {}
+        self._wake_heap: List[int] = []
+        self._node_schedules: Dict[int, Set[int]] = {}
         self._always_on: Set[int] = set(self.contexts)
+        # (sorted list, snapshot set) of the always-on nodes, rebuilt only
+        # when membership changes; mid-round changes leave the round's local
+        # references pointing at the old snapshot, which is exactly the
+        # round-start semantics the naive loop had.
+        self._always_view: Optional[Tuple[List[int], Set[int]]] = None
         self._started = False
         if trace:
             from .trace import NetworkTrace
@@ -106,13 +159,61 @@ class Network:
     # Scheduling plumbing (called from Context)
     # ------------------------------------------------------------------
     def _schedule_wake(self, node: int, wake_round: int) -> None:
-        self._wake_calendar.setdefault(wake_round, set()).add(node)
+        entry = self._wake_calendar.get(wake_round)
+        if entry is None:
+            self._wake_calendar[wake_round] = {node}
+            heapq.heappush(self._wake_heap, wake_round)
+        else:
+            entry.add(node)
+        self._node_schedules.setdefault(node, set()).add(wake_round)
 
     def _set_always_awake(self, node: int, always: bool) -> None:
         if always:
-            self._always_on.add(node)
-        else:
+            if node not in self._always_on:
+                self._always_on.add(node)
+                self._always_view = None
+        elif node in self._always_on:
             self._always_on.discard(node)
+            self._always_view = None
+
+    def _prune_schedule(self, node: int) -> None:
+        """Drop a halted node's future calendar entries.
+
+        Without this, dead entries would keep the heap (and the old linear
+        scan) reporting pending work for nodes that can never wake again.
+        Emptied calendar entries are deleted here; their heap rounds go
+        stale and are skipped lazily by :meth:`_next_wake_round`.
+        """
+        rounds = self._node_schedules.pop(node, None)
+        if not rounds:
+            return
+        calendar = self._wake_calendar
+        for wake_round in rounds:
+            entry = calendar.get(wake_round)
+            if entry is not None:
+                entry.discard(node)
+                if not entry:
+                    del calendar[wake_round]
+
+    def _always_on_view(self) -> Tuple[List[int], Set[int]]:
+        view = self._always_view
+        if view is None:
+            ordered = sorted(self._always_on)
+            view = (ordered, set(ordered))
+            self._always_view = view
+        return view
+
+    def _next_wake_round(self) -> Optional[int]:
+        """Earliest future round with a live calendar entry (heap peek)."""
+        heap = self._wake_heap
+        calendar = self._wake_calendar
+        current = self.round_index
+        while heap:
+            wake_round = heap[0]
+            if wake_round > current and wake_round in calendar:
+                return wake_round
+            heapq.heappop(heap)
+        return None
 
     # ------------------------------------------------------------------
     # Execution
@@ -129,61 +230,82 @@ class Network:
                     f"node {node} tried to send during on_start"
                 )
 
-    def _awake_nodes(self) -> Set[int]:
-        awake = set(self._always_on)
-        scheduled = self._wake_calendar.pop(self.round_index, None)
-        if scheduled:
-            for node in scheduled:
-                ctx = self.contexts[node]
-                if not ctx._halted and not ctx._always_awake:
-                    awake.add(node)
-        return awake
-
     def step(self) -> Set[int]:
         """Run one synchronous round; return the set of awake nodes."""
         if not self._started:
             self.start()
         self.round_index += 1
-        awake = self._awake_nodes()
-        if not awake:
-            if self.trace is not None:
-                self.trace.record(self.round_index, awake, 0, 0, 0)
-            return awake
-        sent_before = self.messages_sent
-        delivered_before = self.messages_delivered
-        dropped_before = self.messages_dropped
 
-        ordered = sorted(awake)
-        for node in ordered:
-            self.ledger.charge(node)
+        # Assemble the awake set; reuse the cached sorted view when no
+        # scheduled node wakes this round (the common case for always-on
+        # algorithms like Luby).
+        scheduled = self._wake_calendar.pop(self.round_index, None)
+        if scheduled:
+            awake = set(self._always_on)
+            for node in scheduled:
+                node_rounds = self._node_schedules.get(node)
+                if node_rounds is not None:
+                    node_rounds.discard(self.round_index)
+                ctx = self.contexts[node]
+                if not ctx._halted and not ctx._always_awake:
+                    awake.add(node)
+            ordered = sorted(awake)
+        else:
+            ordered, awake = self._always_on_view()
+
+        trace = self.trace
+        if not awake:
+            if trace is not None:
+                trace.record(self.round_index, awake, 0, 0, 0)
+            return awake
+        if trace is not None:
+            sent_before = self.messages_sent
+            delivered_before = self.messages_delivered
+            dropped_before = self.messages_dropped
+
+        self.ledger.charge_many(ordered)
 
         # Phase 1: computation + sending.
+        contexts = self.contexts
+        programs = self.programs
         for node in ordered:
-            ctx = self.contexts[node]
-            self.programs[node].on_round(ctx)
+            programs[node].on_round(contexts[node])
 
-        # Phase 2: delivery (drop messages to sleeping nodes).
-        inboxes: Dict[int, List[Message]] = {node: [] for node in ordered}
+        # Phase 2: delivery (drop messages to sleeping nodes). Inboxes are
+        # built lazily: only actual receivers get a list.
+        inboxes: Dict[int, List[Message]] = {}
+        max_bits = self.max_message_bits
         for node in ordered:
-            ctx = self.contexts[node]
-            for receiver, payload in ctx._drain_outbox():
+            outbox = contexts[node]._drain_outbox()
+            if not outbox:
+                continue
+            for receiver, payload in outbox:
                 self.messages_sent += 1
-                bits = payload_bits(payload)
+                bits = payload_bits_cached(payload)
                 self.total_message_bits += bits
-                self.max_message_bits = max(self.max_message_bits, bits)
-                if receiver in awake and not self.contexts[receiver]._halted:
-                    inboxes[receiver].append(Message(node, payload))
+                if bits > max_bits:
+                    max_bits = bits
+                if receiver in awake and not contexts[receiver]._halted:
+                    inbox = inboxes.get(receiver)
+                    if inbox is None:
+                        inboxes[receiver] = [Message(node, payload)]
+                    else:
+                        inbox.append(Message(node, payload))
                     self.messages_delivered += 1
                 else:
                     self.messages_dropped += 1
+        self.max_message_bits = max_bits
 
         # Phase 3: receiving.
         for node in ordered:
-            ctx = self.contexts[node]
+            ctx = contexts[node]
             if not ctx._halted:
-                self.programs[node].on_receive(ctx, inboxes[node])
-        if self.trace is not None:
-            self.trace.record(
+                inbox = inboxes.get(node)
+                programs[node].on_receive(
+                    ctx, inbox if inbox is not None else []
+                )
+        if trace is not None:
+            trace.record(
                 self.round_index,
                 awake,
                 self.messages_sent - sent_before,
@@ -192,35 +314,80 @@ class Network:
             )
         return awake
 
+    def _skip_idle_to(self, target_round: int) -> None:
+        """Fast-forward over rounds in which no node is awake.
+
+        The skipped rounds still advance simulated time (they are part of
+        the time complexity) and still appear in the trace, but as one
+        compact idle span instead of per-round records.
+        """
+        if target_round <= self.round_index:
+            return
+        if self.trace is not None:
+            self.trace.record_idle(self.round_index + 1, target_round)
+        self.round_index = target_round
+
     def has_pending_work(self) -> bool:
         """True if some node may still wake up in a future round."""
         if self._always_on:
             return True
-        for wake_round, nodes in self._wake_calendar.items():
-            if wake_round > self.round_index and any(
-                not self.contexts[v]._halted and not self.contexts[v]._always_awake
-                for v in nodes
-            ):
-                return True
-        return False
+        return self._next_wake_round() is not None
 
-    def run(self, max_rounds: int = 1_000_000) -> RunMetrics:
-        """Run until no node will ever wake again (or ``max_rounds``)."""
+    def run(
+        self, max_rounds: int = 1_000_000, *, legacy: Optional[bool] = None
+    ) -> RunMetrics:
+        """Run until no node will ever wake again (or ``max_rounds``).
+
+        The default fast path jumps over idle stretches (rounds where no
+        node is awake) in O(1) per stretch; ``legacy=True`` (or the
+        module-level :func:`legacy_engine` switch) steps every round the
+        naive way. Both paths produce bit-identical outputs, metrics, and
+        ledger state.
+        """
         if not self._started:
             self.start()
+        use_legacy = _LEGACY_MODE if legacy is None else legacy
         while self.has_pending_work():
             if self.round_index + 1 >= max_rounds:
                 raise SimulationLimitError(
                     f"simulation exceeded {max_rounds} rounds"
                 )
+            if use_legacy or self._always_on:
+                self.step()
+                continue
+            next_wake = self._next_wake_round()
+            if next_wake >= max_rounds:
+                # The naive loop would idle up to the limit and raise;
+                # advance time the same way before raising.
+                self._skip_idle_to(max_rounds - 1)
+                raise SimulationLimitError(
+                    f"simulation exceeded {max_rounds} rounds"
+                )
+            self._skip_idle_to(next_wake - 1)
             self.step()
         return self.metrics()
 
-    def run_rounds(self, rounds: int) -> RunMetrics:
+    def run_rounds(
+        self, rounds: int, *, legacy: Optional[bool] = None
+    ) -> RunMetrics:
         """Run exactly ``rounds`` rounds (idle rounds still advance time)."""
         if not self._started:
             self.start()
-        for _ in range(rounds):
+        use_legacy = _LEGACY_MODE if legacy is None else legacy
+        if use_legacy:
+            for _ in range(rounds):
+                self.step()
+            return self.metrics()
+        end = self.round_index + rounds
+        while self.round_index < end:
+            if self._always_on:
+                self.step()
+                continue
+            next_wake = self._next_wake_round()
+            if next_wake is None or next_wake > end:
+                self._skip_idle_to(end)
+                break
+            self._skip_idle_to(next_wake - 1)
             self.step()
         return self.metrics()
 

@@ -38,7 +38,7 @@ from .errors import (
     NotANeighborError,
     SchedulingError,
 )
-from .message import Message, payload_bits
+from .message import Message, payload_bits_cached
 
 
 class Context:
@@ -97,7 +97,7 @@ class Context:
             raise NotANeighborError(self.node, neighbor)
         if neighbor in self._sent_to:
             raise DuplicateMessageError(self.node, neighbor, self.round)
-        bits = payload_bits(payload)
+        bits = payload_bits_cached(payload)
         if bits > self._network.bit_budget:
             raise MessageTooLargeError(
                 self.node, neighbor, bits, self._network.bit_budget
@@ -143,13 +143,21 @@ class Context:
         """Terminate this node: it sleeps forever and charges no more energy."""
         self._halted = True
         self._network._set_always_awake(self.node, False)
+        # Prune any still-scheduled wake rounds so the engine's pending-work
+        # accounting never re-checks entries that can no longer fire.
+        self._network._prune_schedule(self.node)
 
     # ------------------------------------------------------------------
     # Engine plumbing
     # ------------------------------------------------------------------
     def _drain_outbox(self) -> List[Tuple[int, Any]]:
-        outbox, self._outbox = self._outbox, []
-        self._sent_to = set()
+        # A node only has pending sent-to bookkeeping if it queued messages,
+        # so an empty outbox needs no reset at all (the hot case for silent
+        # awake rounds).
+        outbox = self._outbox
+        if outbox:
+            self._outbox = []
+            self._sent_to.clear()
         return outbox
 
 

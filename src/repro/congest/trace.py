@@ -9,7 +9,7 @@ round costs memory proportional to total awake-node rounds.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Set
+from typing import Dict, List, Sequence, Set, Tuple
 
 
 @dataclass
@@ -25,9 +25,18 @@ class RoundRecord:
 
 @dataclass
 class NetworkTrace:
-    """Round-by-round record of one simulation."""
+    """Round-by-round record of one simulation.
+
+    Idle stretches the engine fast-forwards over are stored as compact
+    ``(first_round, last_round)`` spans rather than one empty record per
+    round, so tracing a mostly-sleeping execution costs memory proportional
+    to awake events, not simulated time. All derived views (``rounds``,
+    ``awake_counts``, ``sleep_diagram``) account for the spans, so they
+    match a trace taken with the naive per-round loop.
+    """
 
     records: List[RoundRecord] = field(default_factory=list)
+    idle_spans: List[Tuple[int, int]] = field(default_factory=list)
 
     def record(self, round_index: int, awake: Set[int], sent: int,
                delivered: int, dropped: int) -> None:
@@ -41,14 +50,29 @@ class NetworkTrace:
             )
         )
 
+    def record_idle(self, first_round: int, last_round: int) -> None:
+        """Record a fast-forwarded stretch of all-asleep rounds (O(1))."""
+        if last_round < first_round:
+            raise ValueError(
+                f"bad idle span [{first_round}, {last_round}]"
+            )
+        self.idle_spans.append((first_round, last_round))
+
     # ------------------------------------------------------------------
     @property
     def rounds(self) -> int:
-        return len(self.records)
+        return len(self.records) + sum(
+            last - first + 1 for first, last in self.idle_spans
+        )
 
     def awake_counts(self) -> List[int]:
         """Number of awake nodes per round (the 'power draw' curve)."""
-        return [len(record.awake) for record in self.records]
+        if not self.idle_spans:
+            return [len(record.awake) for record in self.records]
+        counts = [0] * self.rounds
+        for record in self.records:
+            counts[record.round_index] = len(record.awake)
+        return counts
 
     def wake_rounds_of(self, node: int) -> List[int]:
         """The rounds in which ``node`` was awake."""

@@ -1,10 +1,13 @@
 """Experiment harness: runner, sweeps, tables, and the E1–E11/A1–A3 registry."""
 
 from .experiments import DESCRIPTIONS, REGISTRY, run_all, run_experiment
+from .parallel import default_jobs, parallel_map, resolve_jobs, set_default_jobs
 from .runner import (
     ALGORITHMS,
     measure,
     measure_dynamic,
+    measure_dynamic_many,
+    measure_many,
     run_algorithm,
     run_dynamic_workload,
 )
@@ -16,14 +19,20 @@ __all__ = [
     "DESCRIPTIONS",
     "REGISTRY",
     "SweepPoint",
+    "default_jobs",
     "format_table",
     "measure",
     "measure_dynamic",
+    "measure_dynamic_many",
+    "measure_many",
+    "parallel_map",
+    "resolve_jobs",
     "run_algorithm",
     "run_dynamic_workload",
     "run_all",
     "run_experiment",
     "section",
     "series",
+    "set_default_jobs",
     "sweep",
 ]

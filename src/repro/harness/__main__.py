@@ -6,6 +6,7 @@ import argparse
 import sys
 
 from .experiments import DESCRIPTIONS, REGISTRY, run_all, run_experiment
+from .parallel import set_default_jobs
 
 
 def main(argv=None) -> int:
@@ -21,8 +22,15 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--quick", action="store_true", help="smaller sizes and fewer seeds"
     )
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=None, metavar="N",
+        help="worker processes for sweeps (-1 = all cores; default serial)",
+    )
     parser.add_argument("--list", action="store_true", help="list experiments")
     args = parser.parse_args(argv)
+
+    if args.jobs is not None:
+        set_default_jobs(args.jobs)
 
     if args.list:
         for name in sorted(REGISTRY):

@@ -34,7 +34,7 @@ from ..core import (
     run_phase2,
 )
 from ..schedule import schedule_for_round, schedule_size_bound, verify_overlap_property
-from .runner import measure
+from .runner import measure_many
 from .sweep import series, sweep
 from .tables import format_table, section
 
@@ -453,12 +453,18 @@ def experiment_e11(quick: bool = False):
     seeds = 2 if quick else 3
     rows = []
     total = {"runs": 0, "independent": 0, "maximal": 0}
+    tasks = [
+        (algorithm, family, n, seed)
+        for algorithm in algorithms
+        for family in families
+        for seed in range(seeds)
+    ]
+    outcomes = iter(measure_many(tasks))
     for algorithm in algorithms:
         runs = independent = maximal = 0
         for family in families:
             for seed in range(seeds):
-                graph = graphs.make_family(family, n, seed=seed)
-                outcome = measure(algorithm, graph, seed=seed)
+                outcome = next(outcomes)
                 runs += 1
                 independent += int(outcome["independent"])
                 maximal += int(outcome["maximal"])

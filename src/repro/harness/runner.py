@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 import networkx as nx
 
@@ -14,7 +14,9 @@ from ..core import (
     algorithm2,
     algorithm2_constant_average_energy,
 )
+from ..graphs import make_family
 from ..result import MISResult
+from .parallel import parallel_map
 
 ALGORITHMS: Dict[str, Callable[..., MISResult]] = {
     "luby": luby_mis,
@@ -58,6 +60,26 @@ def measure(name: str, graph: nx.Graph, seed: int = 0, **kwargs) -> Dict[str, fl
         "independent": 1.0 if report.independent else 0.0,
         "maximal": 1.0 if report.maximal else 0.0,
     }
+
+
+def _measure_task(task: Tuple[str, str, int, int]) -> Dict[str, float]:
+    """Worker for :func:`measure_many`: regenerate the graph, then measure."""
+    algorithm, family, n, seed = task
+    graph = make_family(family, n, seed=seed)
+    return measure(algorithm, graph, seed=seed)
+
+
+def measure_many(
+    tasks: Iterable[Tuple[str, str, int, int]],
+    *,
+    n_jobs: Optional[int] = None,
+) -> List[Dict[str, float]]:
+    """Measure many (algorithm, family, n, seed) cells, optionally in parallel.
+
+    Each task tuple fully describes one deterministic simulation, so the
+    results are identical (and identically ordered) for any ``n_jobs``.
+    """
+    return parallel_map(_measure_task, tasks, n_jobs=n_jobs)
 
 
 def run_dynamic_workload(
@@ -106,3 +128,30 @@ def measure_dynamic(
         **kwargs,
     )
     return result.summary()
+
+
+def _measure_dynamic_task(task: Tuple[Any, ...]) -> Dict[str, float]:
+    """Worker for :func:`measure_dynamic_many`.
+
+    Invariant violations are recorded in the summary's ``all_valid`` flag
+    rather than raised, so one bad seed cannot kill a whole batch.
+    """
+    workload, algorithm, strategy, n, epochs, seed = task
+    return measure_dynamic(
+        workload, algorithm, strategy=strategy, n=n, epochs=epochs,
+        seed=seed, check_invariant=False,
+    )
+
+
+def measure_dynamic_many(
+    tasks: Iterable[Tuple[str, str, str, int, int, int]],
+    *,
+    n_jobs: Optional[int] = None,
+) -> List[Dict[str, float]]:
+    """Measure many (workload, algorithm, strategy, n, epochs, seed) runs.
+
+    The dynamic analogue of :func:`measure_many`: seeds fully determine
+    each churn timeline and every repair, so parallel results are
+    bit-identical to serial ones, in task order.
+    """
+    return parallel_map(_measure_dynamic_task, tasks, n_jobs=n_jobs)

@@ -3,10 +3,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..analysis import Summary, aggregate_trials
 from ..graphs import make_family
+from .parallel import parallel_map
 from .runner import measure
 
 
@@ -24,6 +25,17 @@ class SweepPoint:
         return self.summaries[key].mean
 
 
+def _sweep_task(task: Tuple[str, str, int, int]) -> Dict[str, float]:
+    """One sweep cell trial; module-level so process pools can pickle it.
+
+    The graph is regenerated from (family, n, seed) inside the worker, so
+    parallel execution is bit-identical to the serial loop.
+    """
+    algorithm, family, n, seed = task
+    graph = make_family(family, n, seed=seed)
+    return measure(algorithm, graph, seed=seed)
+
+
 def sweep(
     algorithms: Sequence[str],
     sizes: Sequence[int],
@@ -31,23 +43,32 @@ def sweep(
     family: str = "gnp_log_degree",
     seeds: int = 3,
     seed_base: int = 0,
+    n_jobs: Optional[int] = None,
 ) -> List[SweepPoint]:
     """Run every algorithm on every size with several seeds.
 
     Graphs are regenerated per seed (both the topology seed and the
     algorithm seed vary), so the summaries capture full run-to-run
-    variance.
+    variance. With ``n_jobs`` (or a CLI ``--jobs`` default installed via
+    :func:`repro.harness.parallel.set_default_jobs`) the trials run on a
+    process pool; results are collected in task order and are identical to
+    a serial run.
     """
     if not algorithms or not sizes or seeds < 1:
         raise ValueError("need at least one algorithm, size, and seed")
+    tasks = [
+        (algorithm, family, n, seed_base + trial)
+        for algorithm in algorithms
+        for n in sizes
+        for trial in range(seeds)
+    ]
+    outcomes = parallel_map(_sweep_task, tasks, n_jobs=n_jobs)
     points: List[SweepPoint] = []
+    cursor = 0
     for algorithm in algorithms:
         for n in sizes:
-            trials = []
-            for trial in range(seeds):
-                seed = seed_base + trial
-                graph = make_family(family, n, seed=seed)
-                trials.append(measure(algorithm, graph, seed=seed))
+            trials = outcomes[cursor:cursor + seeds]
+            cursor += seeds
             points.append(
                 SweepPoint(
                     algorithm=algorithm,

@@ -1,0 +1,161 @@
+"""Fast path ⇔ legacy loop equivalence regression.
+
+The engine's idle-round fast-forward and cached round loop are pure
+optimizations: for every algorithm and workload, outputs, metrics, and
+ledger state must be *bit-identical* to the naive one-step-per-round loop
+(``Network.run(legacy=True)`` / :func:`repro.congest.legacy_engine`). This
+suite locks that in for every registered algorithm on several graph
+families, and for hand-built schedules that exercise the tricky corners
+(idle gaps, mid-run halts, re-scheduling, truncated ``run_rounds``).
+"""
+
+import networkx as nx
+import pytest
+
+from repro import graphs
+from repro.congest import EnergyLedger, Network, NodeProgram, legacy_engine
+from repro.congest.network import set_legacy_mode
+from repro.harness import ALGORITHMS, run_algorithm
+
+FAMILIES = ["gnp_log_degree", "geometric", "grid"]
+N = 64
+
+
+def _metrics_tuple(metrics):
+    return (
+        metrics.rounds,
+        metrics.max_energy,
+        metrics.average_energy,
+        metrics.total_energy,
+        metrics.messages_sent,
+        metrics.messages_delivered,
+        metrics.messages_dropped,
+        metrics.total_message_bits,
+        metrics.max_message_bits,
+    )
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_algorithms_identical_across_engine_paths(algorithm, family):
+    graph = graphs.make_family(family, N, seed=5)
+
+    fast_ledger = EnergyLedger(graph.nodes)
+    fast = run_algorithm(algorithm, graph, seed=5, ledger=fast_ledger)
+    with legacy_engine():
+        legacy_ledger = EnergyLedger(graph.nodes)
+        legacy = run_algorithm(algorithm, graph, seed=5, ledger=legacy_ledger)
+
+    assert fast.mis == legacy.mis
+    assert _metrics_tuple(fast.metrics) == _metrics_tuple(legacy.metrics)
+    assert fast.metrics == legacy.metrics  # includes per-phase breakdowns
+    assert fast_ledger.snapshot() == legacy_ledger.snapshot()
+
+
+class GappySleeper(NodeProgram):
+    """Exercises idle gaps, on-the-fly re-scheduling, and mid-run halts."""
+
+    def on_start(self, ctx):
+        # Widely spaced, node-dependent wakes: long all-asleep stretches.
+        ctx.use_wake_schedule([3 + 7 * (ctx.node % 3), 40, 90 + ctx.node])
+
+    def on_round(self, ctx):
+        ctx.output["wakes"] = ctx.output.get("wakes", 0) + 1
+        if ctx.neighbors and int(ctx.rng.integers(0, 2)):
+            ctx.send(ctx.neighbors[0], ctx.round)
+
+    def on_receive(self, ctx, messages):
+        ctx.output["heard"] = ctx.output.get("heard", 0) + len(messages)
+        if ctx.round >= 90:
+            ctx.halt()
+        elif ctx.round >= 40 and ctx.node % 2:
+            # Extend the schedule while awake, then halt on the extra wake.
+            ctx.use_wake_schedule([ctx.round + 25])
+
+
+class TestScheduledWorkloads:
+    def _run(self, legacy, runner):
+        graph = graphs.gnp(24, 0.15, seed=9)
+        ledger = EnergyLedger(graph.nodes)
+        network = Network(
+            graph,
+            {v: GappySleeper() for v in graph.nodes},
+            seed=3,
+            ledger=ledger,
+            trace=True,
+        )
+        runner(network, legacy)
+        return network
+
+    def _assert_identical(self, runner):
+        fast = self._run(False, runner)
+        legacy = self._run(True, runner)
+        assert fast.outputs("wakes") == legacy.outputs("wakes")
+        assert fast.outputs("heard") == legacy.outputs("heard")
+        assert fast.metrics() == legacy.metrics()
+        assert fast.ledger.snapshot() == legacy.ledger.snapshot()
+        # Trace-derived views agree even though the fast path stores idle
+        # stretches as compact spans rather than per-round records.
+        assert fast.trace.rounds == legacy.trace.rounds
+        assert fast.trace.awake_counts() == legacy.trace.awake_counts()
+        for node in fast.contexts:
+            assert fast.trace.wake_rounds_of(node) == \
+                legacy.trace.wake_rounds_of(node)
+        assert fast.trace.message_totals() == legacy.trace.message_totals()
+        assert fast.trace.sleep_diagram(sorted(fast.contexts)) == \
+            legacy.trace.sleep_diagram(sorted(legacy.contexts))
+
+    def test_run_to_completion(self):
+        self._assert_identical(lambda net, legacy: net.run(legacy=legacy))
+
+    def test_run_rounds_truncated_mid_gap(self):
+        # 55 rounds ends inside an idle stretch: the fast path must still
+        # advance simulated time to exactly the same round.
+        self._assert_identical(
+            lambda net, legacy: net.run_rounds(55, legacy=legacy)
+        )
+
+    def test_run_rounds_then_run(self):
+        def runner(net, legacy):
+            net.run_rounds(10, legacy=legacy)
+            net.run(legacy=legacy)
+
+        self._assert_identical(runner)
+
+
+def test_module_level_switch():
+    graph = nx.path_graph(4)
+
+    class Once(NodeProgram):
+        def on_round(self, ctx):
+            ctx.output["ran"] = ctx.round
+            ctx.halt()
+
+    set_legacy_mode(True)
+    try:
+        legacy_net = Network(graph, {v: Once() for v in graph.nodes})
+        legacy_metrics = legacy_net.run()
+    finally:
+        set_legacy_mode(False)
+    fast_net = Network(graph, {v: Once() for v in graph.nodes})
+    assert fast_net.run() == legacy_metrics
+    assert fast_net.outputs("ran") == legacy_net.outputs("ran")
+
+
+def test_pruned_halt_schedules_agree_with_pending_work():
+    """A halted node's dead calendar entries must not keep the run alive."""
+
+    class ScheduleThenHalt(NodeProgram):
+        def on_start(self, ctx):
+            ctx.use_wake_schedule([1, 500_000])
+
+        def on_round(self, ctx):
+            ctx.output["woke"] = ctx.round
+            ctx.halt()  # round-500000 entry must be pruned here
+
+    graph = nx.path_graph(3)
+    for legacy in (False, True):
+        network = Network(graph, {v: ScheduleThenHalt() for v in graph.nodes})
+        metrics = network.run(max_rounds=10_000, legacy=legacy)
+        assert metrics.rounds == 2  # not 500_001, and no limit error
+        assert not network.has_pending_work()
