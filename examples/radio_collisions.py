@@ -1,0 +1,66 @@
+"""Radio-network MIS: one shared medium, collisions, and their energy bill.
+
+The sensor networks the paper motivates are *radio* networks: a node does
+not have a private wire to each neighbor, it has one antenna. When two
+nearby sensors key up at once, their packets collide and a listener hears
+noise. The `broadcast` channel models exactly this (half-duplex, collision
+detection, one transmission per node per round), and `radio_decay` is an
+MIS protocol built for it: candidates duel by randomized beacons, withdraw
+on hearing *anything* (a clean beacon or a collision — both prove
+competition), and winners announce with a guaranteed final beacon so
+neighbors retire even when several announcements collide.
+
+This example elects coordinators for the same sensor field on three
+channels and shows what the shared medium costs: every collision a sensor
+suffers while listening is a wasted receive slot, billed to the energy
+ledger next to its awake rounds.
+
+Run:  python examples/radio_collisions.py
+"""
+
+from repro import graphs
+from repro.analysis import verify_mis
+from repro.baselines import radio_decay_mis
+
+
+def main():
+    field = graphs.random_geometric(400, seed=11)
+    print(f"sensor field: n={field.number_of_nodes()}, "
+          f"m={field.number_of_edges()}\n")
+
+    header = (f"{'channel':>18} {'|MIS|':>6} {'rounds':>7} "
+              f"{'max energy':>11} {'avg energy':>11} {'collisions':>11}")
+    print(header)
+    for channel in ("broadcast", "congest"):
+        result = radio_decay_mis(field, seed=11, channel=channel)
+        report = verify_mis(field, result.mis)
+        assert report.independent, f"{channel}: independence violated"
+        print(f"{channel:>18} {len(result.mis):>6} {result.rounds:>7} "
+              f"{result.max_energy:>11} {result.average_energy:>11.1f} "
+              f"{result.metrics.collisions:>11}")
+
+    print(
+        "\nThe broadcast row pays for contention directly: every collision"
+        "\nis billed to the ledger as a wasted listening slot. The congest"
+        "\nrow is the same protocol on reliable full-duplex delivery —"
+        "\ncollisions cost nothing there, but competing candidates now hear"
+        "\neach other *symmetrically* and annihilate in pairs, so elections"
+        "\nneed more epochs and the energy ends up higher. The radio"
+        "\nmedium's half-duplex asymmetry (a transmitter is deaf) is what"
+        "\nbreaks ties quickly."
+    )
+
+    # Collision *detection* is load-bearing, not a luxury: without it a
+    # candidate standing between two colliding competitors hears silence,
+    # never withdraws, and adjacent winners slip into the set together.
+    result = radio_decay_mis(field, seed=11, channel="broadcast-no-cd")
+    report = verify_mis(field, result.mis)
+    print(
+        f"\nwithout collision detection (broadcast-no-cd): "
+        f"|MIS|={len(result.mis)}, independent={report.independent} — "
+        f"the decay protocol is only sound when noise is audible."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -4,6 +4,7 @@ Examples::
 
     python -m repro --algorithm algorithm1 --family geometric --n 1000
     python -m repro --algorithm luby --family gnp_sqrt_degree --n 512 -v
+    python -m repro --algorithm radio_decay --channel broadcast --n 256
     python -m repro --list
     python -m repro dynamic --workload sensor_battery_decay -a algorithm1
     python -m repro dynamic --workload link_flap --strategy full_recompute
@@ -15,8 +16,9 @@ import argparse
 import sys
 
 from .analysis import verify_mis
+from .congest import CHANNELS
 from .graphs import FAMILIES, make_family
-from .harness import ALGORITHMS, run_algorithm
+from .harness import ALGORITHMS, RADIO_SAFE_ALGORITHMS, run_algorithm
 
 
 def _static_main(argv) -> int:
@@ -39,6 +41,14 @@ def _static_main(argv) -> int:
     )
     parser.add_argument("--n", "-n", type=int, default=512)
     parser.add_argument("--seed", "-s", type=int, default=0)
+    parser.add_argument(
+        "--channel", "-c", default=None, choices=sorted(CHANNELS),
+        metavar="CHANNEL",
+        help=(
+            f"delivery model, one of {sorted(CHANNELS)} "
+            "(default: the algorithm's own, CONGEST for most)"
+        ),
+    )
     parser.add_argument(
         "--seeds", type=int, default=1, metavar="K",
         help="run K seeds (seed, seed+1, ...) and report per-seed + mean",
@@ -64,20 +74,34 @@ def _static_main(argv) -> int:
         print("workloads: ", ", ".join(sorted(WORKLOADS)), "(via 'dynamic')")
         return 0
 
+    if args.channel in ("broadcast", "broadcast-no-cd") and \
+            args.algorithm not in RADIO_SAFE_ALGORITHMS:
+        parser.error(
+            f"algorithm {args.algorithm!r} is point-to-point and unsound "
+            f"on a radio medium; use one of "
+            f"{sorted(RADIO_SAFE_ALGORITHMS)} with --channel broadcast"
+        )
+
     if args.seeds > 1:
         return _static_multi_seed(args)
 
     graph = make_family(args.family, args.n, seed=args.seed)
-    result = run_algorithm(args.algorithm, graph, seed=args.seed)
+    result = run_algorithm(
+        args.algorithm, graph, seed=args.seed, channel=args.channel
+    )
     report = verify_mis(graph, result.mis)
 
     print(f"graph:        {args.family}, n={graph.number_of_nodes()}, "
           f"m={graph.number_of_edges()}")
-    print(f"algorithm:    {result.algorithm}")
+    channel_name = args.channel or result.details.get("channel", "congest")
+    print(f"algorithm:    {result.algorithm} (channel: {channel_name})")
     print(f"|MIS|:        {len(result.mis)}")
     print(f"rounds:       {result.rounds}")
     print(f"max energy:   {result.max_energy}")
     print(f"avg energy:   {result.average_energy:.2f}")
+    if result.metrics.collisions:
+        print(f"collisions:   {result.metrics.collisions} "
+              f"(billed to the energy ledger)")
     print(f"independent:  {report.independent}")
     print(f"maximal:      {report.maximal}")
     if args.verbose and result.metrics.phases:
@@ -94,7 +118,10 @@ def _static_multi_seed(args) -> int:
     from .harness import measure_many
 
     seeds = list(range(args.seed, args.seed + args.seeds))
-    tasks = [(args.algorithm, args.family, args.n, seed) for seed in seeds]
+    tasks = [
+        (args.algorithm, args.family, args.n, seed, args.channel)
+        for seed in seeds
+    ]
     outcomes = measure_many(tasks, n_jobs=args.jobs)
 
     print(f"graph:     {args.family}, n={args.n}")
@@ -146,6 +173,10 @@ def _dynamic_main(argv) -> int:
     parser.add_argument("--epochs", "-e", type=int, default=10)
     parser.add_argument("--seed", "-s", type=int, default=0)
     parser.add_argument(
+        "--rate", type=float, default=1.0, metavar="R",
+        help="churn-rate multiplier (scales events per epoch)",
+    )
+    parser.add_argument(
         "--seeds", type=int, default=1, metavar="K",
         help="run K seeds (seed, seed+1, ...) and report summary means",
     )
@@ -175,7 +206,7 @@ def _dynamic_main(argv) -> int:
         seeds = list(range(args.seed, args.seed + args.seeds))
         tasks = [
             (args.workload, args.algorithm, args.strategy, args.n,
-             args.epochs, seed)
+             args.epochs, seed, args.rate)
             for seed in seeds
         ]
         summaries = measure_dynamic_many(tasks, n_jobs=args.jobs)
@@ -199,6 +230,7 @@ def _dynamic_main(argv) -> int:
         n=args.n,
         epochs=args.epochs,
         seed=args.seed,
+        rate=args.rate,
         check_invariant=False,
     )
 

@@ -1,4 +1,5 @@
-"""Baseline MIS algorithms: sequential ground truth, Luby, Ghaffari-2016."""
+"""Baseline MIS algorithms: sequential ground truth, Luby, Ghaffari-2016,
+and the decay radio MIS for broadcast channels."""
 
 from .ghaffari import (
     ACTIVE,
@@ -9,6 +10,7 @@ from .ghaffari import (
     ghaffari_shatter,
 )
 from .luby import LubyProgram, luby_mis
+from .radio_decay import RadioDecayProgram, radio_decay_mis
 from .regularized_luby import RegularizedLubyProgram, regularized_luby_mis
 from .sequential import greedy_mis, min_degree_greedy_mis, random_greedy_mis
 
@@ -18,12 +20,14 @@ __all__ = [
     "JOINED",
     "LubyProgram",
     "REMOVED",
+    "RadioDecayProgram",
     "RegularizedLubyProgram",
     "ghaffari_mis",
     "ghaffari_shatter",
     "greedy_mis",
     "luby_mis",
     "min_degree_greedy_mis",
+    "radio_decay_mis",
     "random_greedy_mis",
     "regularized_luby_mis",
 ]

@@ -150,11 +150,13 @@ def ghaffari_mis(
     max_rounds: int = 200_000,
     ledger: Optional[EnergyLedger] = None,
     size_bound: Optional[int] = None,
+    channel=None,
 ) -> MISResult:
     """Run Ghaffari's algorithm to completion (single execution) as a baseline."""
     programs = {node: GhaffariProgram() for node in graph.nodes}
     network = Network(
-        graph, programs, seed=seed, ledger=ledger, size_bound=size_bound
+        graph, programs, seed=seed, ledger=ledger, size_bound=size_bound,
+        channel=channel,
     )
     metrics = network.run(max_rounds=max_rounds)
     mis = {node for node, flag in network.outputs("in_mis").items() if flag}

@@ -122,11 +122,18 @@ def luby_mis(
     max_rounds: int = 100_000,
     ledger: Optional[EnergyLedger] = None,
     size_bound: Optional[int] = None,
+    channel=None,
 ) -> MISResult:
-    """Run Luby's algorithm to completion and return the MIS with metrics."""
+    """Run Luby's algorithm to completion and return the MIS with metrics.
+
+    ``channel="local"`` skips the CONGEST bit accounting (the baseline's
+    rounds/energy are unchanged); the radio ``"broadcast"`` channel is
+    unsound for Luby (adjacent marked nodes never hear each other).
+    """
     programs = {node: LubyProgram() for node in graph.nodes}
     network = Network(
-        graph, programs, seed=seed, ledger=ledger, size_bound=size_bound
+        graph, programs, seed=seed, ledger=ledger, size_bound=size_bound,
+        channel=channel,
     )
     metrics = network.run(max_rounds=max_rounds)
     mis = {node for node, flag in network.outputs("in_mis").items() if flag}

@@ -93,6 +93,7 @@ def regularized_luby_mis(
     max_rounds: int = 500_000,
     ledger: Optional[EnergyLedger] = None,
     size_bound: Optional[int] = None,
+    channel=None,
 ) -> MISResult:
     """Run the unmodified regularized Luby algorithm to completion."""
     n = size_bound if size_bound is not None else graph.number_of_nodes()
@@ -104,7 +105,8 @@ def regularized_luby_mis(
         for node in graph.nodes
     }
     network = Network(
-        graph, programs, seed=seed, ledger=ledger, size_bound=n
+        graph, programs, seed=seed, ledger=ledger, size_bound=n,
+        channel=channel,
     )
     network.run(max_rounds=max_rounds)
     mis = {node for node, flag in network.outputs("in_mis").items() if flag}

@@ -3,13 +3,28 @@
 Public surface:
 
 * :class:`Network` — synchronous message-passing engine with sleeping.
+* :class:`Channel` and friends — the pluggable delivery layer
+  (:class:`CongestChannel`, :class:`LocalChannel`, :class:`BroadcastChannel`,
+  the :data:`CHANNELS` registry, :func:`channel_scope`).
 * :class:`NodeProgram` / :class:`Context` — the node-program API.
 * :class:`EnergyLedger` / :class:`RunMetrics` — time/energy accounting.
 * :class:`Message`, :func:`payload_bits`, :func:`default_bit_budget` —
   message-size accounting for the ``B = O(log n)``-bit budget.
 """
 
+from .channels import (
+    CHANNELS,
+    COLLISION,
+    COLLISION_MESSAGE,
+    BroadcastChannel,
+    Channel,
+    CongestChannel,
+    LocalChannel,
+    channel_scope,
+    make_channel,
+)
 from .errors import (
+    ChannelError,
     CongestError,
     DuplicateMessageError,
     MessageTooLargeError,
@@ -24,10 +39,18 @@ from .program import Context, NodeProgram
 from .trace import NetworkTrace, RoundRecord
 
 __all__ = [
+    "BroadcastChannel",
+    "CHANNELS",
+    "COLLISION",
+    "COLLISION_MESSAGE",
+    "Channel",
+    "ChannelError",
+    "CongestChannel",
     "CongestError",
     "Context",
     "DuplicateMessageError",
     "EnergyLedger",
+    "LocalChannel",
     "Message",
     "MessageTooLargeError",
     "Network",
@@ -38,8 +61,10 @@ __all__ = [
     "RunMetrics",
     "SchedulingError",
     "SimulationLimitError",
+    "channel_scope",
     "default_bit_budget",
     "legacy_engine",
+    "make_channel",
     "payload_bits",
     "payload_bits_cached",
     "run_uniform_program",

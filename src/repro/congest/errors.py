@@ -43,6 +43,14 @@ class NotANeighborError(CongestError):
         super().__init__(f"node {sender} has no edge to {receiver}")
 
 
+class ChannelError(CongestError):
+    """A send violated the semantics of the network's channel model.
+
+    Raised e.g. for point-to-point sends on a shared broadcast (radio)
+    medium, or for a second transmission in the same round.
+    """
+
+
 class SchedulingError(CongestError):
     """Invalid wake-schedule manipulation (e.g., waking a node in the past)."""
 

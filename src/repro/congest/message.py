@@ -66,19 +66,33 @@ def payload_bits(payload: Any) -> int:
 
 # The engine prices every payload twice (once at ``send`` for the budget
 # check, once at delivery for the bit counters), and algorithms send the
-# same few payload shapes millions of times.  A bounded memo keyed by
-# ``(type, value)`` makes repeat pricing a dict hit; the type tag keeps
-# ``True`` and ``1`` (equal, but priced differently) apart.  Unhashable
-# payloads (nested lists, dicts) fall through to the recursive pricer.
+# same few payload shapes millions of times.  A bounded memo makes repeat
+# pricing a dict hit.  The cache key must keep ``True`` and ``1`` (equal,
+# hash-equal, but priced differently) apart *at every nesting level*: a
+# plain ``(type, value)`` tag distinguishes the scalars but collides on
+# containers — ``(True,)`` and ``(1,)`` are equal tuples of equal type, yet
+# price 3 vs 4 bits — so container keys are built structurally, tagging
+# each element.  Unhashable payloads (nested lists, dicts) fall through to
+# the recursive pricer.
 _BITS_CACHE: dict = {}
 _BITS_CACHE_LIMIT = 4096
+
+
+def _cache_key(payload: Any):
+    """A hashable key that is equal iff two payloads price identically."""
+    kind = type(payload)
+    if kind is tuple:
+        return (tuple, tuple(_cache_key(item) for item in payload))
+    if kind is frozenset:
+        return (frozenset, frozenset(_cache_key(item) for item in payload))
+    return (kind, payload)
 
 
 def payload_bits_cached(payload: Any) -> int:
     """Memoized :func:`payload_bits` for hashable payloads."""
     if payload is None:
         return 0
-    key = (type(payload), payload)
+    key = _cache_key(payload)
     try:
         return _BITS_CACHE[key]
     except KeyError:

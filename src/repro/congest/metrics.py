@@ -88,6 +88,7 @@ class RunMetrics:
     messages_dropped: int = 0
     total_message_bits: int = 0
     max_message_bits: int = 0
+    collisions: int = 0
     phases: Dict[str, "RunMetrics"] = field(default_factory=dict)
 
     @classmethod
@@ -103,6 +104,7 @@ class RunMetrics:
         messages_dropped: int = 0,
         total_message_bits: int = 0,
         max_message_bits: int = 0,
+        collisions: int = 0,
     ) -> "RunMetrics":
         """Metrics of one phase run against a shared ledger.
 
@@ -118,7 +120,8 @@ class RunMetrics:
                        messages_delivered=messages_delivered,
                        messages_dropped=messages_dropped,
                        total_message_bits=total_message_bits,
-                       max_message_bits=max_message_bits)
+                       max_message_bits=max_message_bits,
+                       collisions=collisions)
         spent = [after[v] - before.get(v, 0) for v in scope]
         total = sum(spent)
         return cls(
@@ -131,6 +134,7 @@ class RunMetrics:
             messages_dropped=messages_dropped,
             total_message_bits=total_message_bits,
             max_message_bits=max_message_bits,
+            collisions=collisions,
         )
 
     @classmethod
@@ -144,6 +148,7 @@ class RunMetrics:
         messages_dropped: int = 0,
         total_message_bits: int = 0,
         max_message_bits: int = 0,
+        collisions: int = 0,
     ) -> "RunMetrics":
         return cls(
             rounds=rounds,
@@ -155,6 +160,7 @@ class RunMetrics:
             messages_dropped=messages_dropped,
             total_message_bits=total_message_bits,
             max_message_bits=max_message_bits,
+            collisions=collisions,
         )
 
     def add_phase(self, name: str, metrics: "RunMetrics") -> None:
@@ -192,4 +198,5 @@ class RunMetrics:
             combined.max_message_bits = max(
                 combined.max_message_bits, metrics.max_message_bits
             )
+            combined.collisions += metrics.collisions
         return combined

@@ -8,11 +8,15 @@ world only through their :class:`~repro.congest.program.Context`.
 Round structure (matching Section 1.1 of the paper):
 
 1. every node awake this round runs ``on_round`` and queues messages;
-2. messages are delivered *within the round*; messages to sleeping nodes are
-   dropped (a sleeping node "does not send or receive any messages");
+2. messages are delivered *within the round* by the network's pluggable
+   :class:`~repro.congest.channels.Channel` (CONGEST point-to-point by
+   default; LOCAL and radio-broadcast models are available); messages to
+   sleeping nodes are dropped (a sleeping node "does not send or receive
+   any messages");
 3. every awake node runs ``on_receive`` with what reached it.
 
-Each awake round charges exactly one unit of energy per awake node.
+Each awake round charges exactly one unit of energy per awake node;
+channels may bill extra (e.g. radio collisions).
 
 Performance model
 -----------------
@@ -44,10 +48,11 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 import networkx as nx
 import numpy as np
 
+from .channels import ChannelSpec, make_channel
 from .errors import SchedulingError, SimulationLimitError
-from .message import Message, default_bit_budget, payload_bits_cached
+from .message import default_bit_budget
 from .metrics import EnergyLedger, RunMetrics
-from .program import Context, NodeProgram
+from .program import NO_BROADCAST, Context, NodeProgram
 
 # Module-level switch so whole algorithm drivers (which call ``network.run()``
 # internally) can be forced onto the naive per-round loop for equivalence
@@ -91,6 +96,12 @@ class Network:
     ledger:
         Optional shared :class:`EnergyLedger` so that several phases can
         accumulate into one energy account.
+    channel:
+        Delivery model: a name from :data:`repro.congest.channels.CHANNELS`
+        (``"congest"``, ``"local"``, ``"broadcast"``, ...), a
+        :class:`~repro.congest.channels.Channel` instance, or a factory.
+        Defaults to the innermost :func:`~repro.congest.channels
+        .channel_scope`, falling back to batched CONGEST.
     """
 
     def __init__(
@@ -103,6 +114,7 @@ class Network:
         ledger: Optional[EnergyLedger] = None,
         size_bound: Optional[int] = None,
         trace: bool = False,
+        channel: ChannelSpec = None,
     ):
         if graph.number_of_nodes() == 0:
             raise ValueError("cannot simulate an empty graph")
@@ -124,6 +136,7 @@ class Network:
         self.messages_dropped = 0
         self.total_message_bits = 0
         self.max_message_bits = 0
+        self.collisions = 0
 
         seed_seq = np.random.SeedSequence(seed)
         children = seed_seq.spawn(graph.number_of_nodes())
@@ -148,6 +161,8 @@ class Network:
         # round-start semantics the naive loop had.
         self._always_view: Optional[Tuple[List[int], Set[int]]] = None
         self._started = False
+        self.channel = make_channel(channel)
+        self.channel.bind(self)
         if trace:
             from .trace import NetworkTrace
 
@@ -225,7 +240,8 @@ class Network:
         self._started = True
         for node in sorted(self.graph.nodes):
             self.programs[node].on_start(self.contexts[node])
-            if self.contexts[node]._outbox:
+            ctx = self.contexts[node]
+            if ctx._outbox or ctx._bcast is not NO_BROADCAST:
                 raise SchedulingError(
                     f"node {node} tried to send during on_start"
                 )
@@ -271,30 +287,11 @@ class Network:
         for node in ordered:
             programs[node].on_round(contexts[node])
 
-        # Phase 2: delivery (drop messages to sleeping nodes). Inboxes are
-        # built lazily: only actual receivers get a list.
-        inboxes: Dict[int, List[Message]] = {}
-        max_bits = self.max_message_bits
-        for node in ordered:
-            outbox = contexts[node]._drain_outbox()
-            if not outbox:
-                continue
-            for receiver, payload in outbox:
-                self.messages_sent += 1
-                bits = payload_bits_cached(payload)
-                self.total_message_bits += bits
-                if bits > max_bits:
-                    max_bits = bits
-                if receiver in awake and not contexts[receiver]._halted:
-                    inbox = inboxes.get(receiver)
-                    if inbox is None:
-                        inboxes[receiver] = [Message(node, payload)]
-                    else:
-                        inbox.append(Message(node, payload))
-                    self.messages_delivered += 1
-                else:
-                    self.messages_dropped += 1
-        self.max_message_bits = max_bits
+        # Phase 2: delivery is the channel's business (drop messages to
+        # sleeping nodes, price bits, detect radio collisions, ...). Only
+        # actual receivers get an inbox entry.
+        channel = self.channel
+        inboxes = channel.deliver(ordered, awake)
 
         # Phase 3: receiving.
         for node in ordered:
@@ -304,6 +301,7 @@ class Network:
                 programs[node].on_receive(
                     ctx, inbox if inbox is not None else []
                 )
+        channel.finish_round()
         if trace is not None:
             trace.record(
                 self.round_index,
@@ -403,6 +401,7 @@ class Network:
             messages_dropped=self.messages_dropped,
             total_message_bits=self.total_message_bits,
             max_message_bits=self.max_message_bits,
+            collisions=self.collisions,
         )
 
     def outputs(self, key: str, default=None) -> Dict[int, object]:
@@ -422,6 +421,7 @@ def run_uniform_program(
     bit_budget: Optional[int] = None,
     ledger: Optional[EnergyLedger] = None,
     size_bound: Optional[int] = None,
+    channel: ChannelSpec = None,
 ) -> Tuple[Network, RunMetrics]:
     """Convenience: run one program class on every node of ``graph``."""
     programs = {node: program_factory() for node in graph.nodes}
@@ -432,6 +432,7 @@ def run_uniform_program(
         bit_budget=bit_budget,
         ledger=ledger,
         size_bound=size_bound,
+        channel=channel,
     )
     metrics = network.run(max_rounds=max_rounds)
     return network, metrics

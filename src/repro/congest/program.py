@@ -32,13 +32,14 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
-from .errors import (
-    DuplicateMessageError,
-    MessageTooLargeError,
-    NotANeighborError,
-    SchedulingError,
-)
-from .message import Message, payload_bits_cached
+from .errors import SchedulingError
+from .message import Message
+
+# Marker for "no whole-neighborhood broadcast pending this round".  Channels
+# store a pending ``ctx.broadcast(payload)`` as a single marker assignment
+# (``ctx._bcast = payload``) instead of one outbox tuple per neighbor, which
+# is what makes batched broadcast delivery allocation-free on the send side.
+NO_BROADCAST = object()
 
 
 class Context:
@@ -56,6 +57,7 @@ class Context:
         "_always_awake",
         "_outbox",
         "_sent_to",
+        "_bcast",
     )
 
     def __init__(self, network, node: int, neighbors: Tuple[int, ...], n: int,
@@ -71,6 +73,7 @@ class Context:
         self._always_awake = True
         self._outbox: List[Tuple[int, Any]] = []
         self._sent_to: set = set()
+        self._bcast: Any = NO_BROADCAST
 
     # ------------------------------------------------------------------
     # Introspection
@@ -92,23 +95,24 @@ class Context:
     # Communication
     # ------------------------------------------------------------------
     def send(self, neighbor: int, payload: Any = None) -> None:
-        """Send one CONGEST message to ``neighbor`` this round."""
-        if neighbor not in self._neighbor_set:
-            raise NotANeighborError(self.node, neighbor)
-        if neighbor in self._sent_to:
-            raise DuplicateMessageError(self.node, neighbor, self.round)
-        bits = payload_bits_cached(payload)
-        if bits > self._network.bit_budget:
-            raise MessageTooLargeError(
-                self.node, neighbor, bits, self._network.bit_budget
-            )
-        self._sent_to.add(neighbor)
-        self._outbox.append((neighbor, payload))
+        """Send one message to ``neighbor`` this round.
+
+        Validation and pricing are the channel's business: the default
+        :class:`~repro.congest.channels.CongestChannel` enforces the model's
+        one-message-per-edge rule and the ``B``-bit budget; a
+        :class:`~repro.congest.channels.LocalChannel` skips the bit
+        accounting; a :class:`~repro.congest.channels.BroadcastChannel`
+        rejects point-to-point sends outright (radio is a shared medium).
+        """
+        self._network.channel.on_send(self, neighbor, payload)
 
     def broadcast(self, payload: Any = None) -> None:
-        """Send the same payload to every neighbor this round."""
-        for neighbor in self.neighbors:
-            self.send(neighbor, payload)
+        """Send the same payload to every neighbor this round.
+
+        On a radio channel this is the *transmit* primitive (one shared
+        transmission, not per-neighbor messages).
+        """
+        self._network.channel.on_broadcast(self, payload)
 
     # ------------------------------------------------------------------
     # Sleep scheduling
@@ -150,15 +154,23 @@ class Context:
     # ------------------------------------------------------------------
     # Engine plumbing
     # ------------------------------------------------------------------
-    def _drain_outbox(self) -> List[Tuple[int, Any]]:
-        # A node only has pending sent-to bookkeeping if it queued messages,
-        # so an empty outbox needs no reset at all (the hot case for silent
-        # awake rounds).
+    def _drain(self) -> Tuple[List[Tuple[int, Any]], Any]:
+        """Take this round's pending traffic: ``(outbox, broadcast)``.
+
+        The two are mutually exclusive by construction: a broadcast marker
+        is only set when the outbox is empty, and any later ``send`` raises
+        before queueing. A node only has sent-to bookkeeping if it queued
+        messages, so an empty outbox needs no reset at all (the hot case
+        for silent awake rounds).
+        """
         outbox = self._outbox
         if outbox:
             self._outbox = []
             self._sent_to.clear()
-        return outbox
+        bcast = self._bcast
+        if bcast is not NO_BROADCAST:
+            self._bcast = NO_BROADCAST
+        return outbox, bcast
 
 
 class NodeProgram:

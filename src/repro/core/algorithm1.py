@@ -23,7 +23,7 @@ from typing import Optional
 
 import networkx as nx
 
-from ..congest import EnergyLedger
+from ..congest import EnergyLedger, channel_scope
 from ..congest.metrics import RunMetrics
 from ..result import MISResult
 from .config import DEFAULT_CONFIG, AlgorithmConfig
@@ -39,6 +39,7 @@ def algorithm1(
     config: AlgorithmConfig = DEFAULT_CONFIG,
     ledger: Optional[EnergyLedger] = None,
     size_bound: Optional[int] = None,
+    channel=None,
 ) -> MISResult:
     """Compute an MIS of ``graph`` with Algorithm 1 of the paper.
 
@@ -54,6 +55,9 @@ def algorithm1(
         The ``n`` the round/energy schedules scale with; defaults to the
         graph's size. Pass the deployment size when running on a subgraph
         (e.g. dynamic repair regions) so schedules stay network-scaled.
+    channel:
+        Channel spec threaded (via :func:`repro.congest.channel_scope`)
+        through every network the three phases build; default CONGEST.
 
     Returns
     -------
@@ -67,31 +71,32 @@ def algorithm1(
     if ledger is None:
         ledger = EnergyLedger(graph.nodes)
 
-    phase1 = run_phase1_alg1(
-        graph,
-        seed=_derive_seed(seed, 1),
-        config=config,
-        ledger=ledger,
-        size_bound=n,
-    )
+    with channel_scope(channel):
+        phase1 = run_phase1_alg1(
+            graph,
+            seed=_derive_seed(seed, 1),
+            config=config,
+            ledger=ledger,
+            size_bound=n,
+        )
 
-    residual = graph.subgraph(phase1.remaining).copy()
-    phase2 = run_phase2(
-        residual,
-        seed=_derive_seed(seed, 2),
-        config=config,
-        ledger=ledger,
-        size_bound=n,
-    )
+        residual = graph.subgraph(phase1.remaining).copy()
+        phase2 = run_phase2(
+            residual,
+            seed=_derive_seed(seed, 2),
+            config=config,
+            ledger=ledger,
+            size_bound=n,
+        )
 
-    phase3 = run_phase3(
-        phase2.components,
-        seed=_derive_seed(seed, 3),
-        config=config,
-        ledger=ledger,
-        size_bound=n,
-        variant="alg1",
-    )
+        phase3 = run_phase3(
+            phase2.components,
+            seed=_derive_seed(seed, 3),
+            config=config,
+            ledger=ledger,
+            size_bound=n,
+            variant="alg1",
+        )
 
     mis = phase1.joined | phase2.joined | phase3.joined
     metrics = RunMetrics.combine_sequential(

@@ -15,7 +15,7 @@ from typing import Optional
 
 import networkx as nx
 
-from ..congest import EnergyLedger
+from ..congest import EnergyLedger, channel_scope
 from ..congest.metrics import RunMetrics
 from ..result import MISResult
 from .config import DEFAULT_CONFIG, AlgorithmConfig
@@ -31,6 +31,7 @@ def algorithm2(
     config: AlgorithmConfig = DEFAULT_CONFIG,
     ledger: Optional[EnergyLedger] = None,
     size_bound: Optional[int] = None,
+    channel=None,
 ) -> MISResult:
     """Compute an MIS of ``graph`` with Algorithm 2 of the paper.
 
@@ -44,31 +45,32 @@ def algorithm2(
     if ledger is None:
         ledger = EnergyLedger(graph.nodes)
 
-    phase1 = run_phase1_alg2(
-        graph,
-        seed=_derive_seed(seed, 101),
-        config=config,
-        ledger=ledger,
-        size_bound=n,
-    )
+    with channel_scope(channel):
+        phase1 = run_phase1_alg2(
+            graph,
+            seed=_derive_seed(seed, 101),
+            config=config,
+            ledger=ledger,
+            size_bound=n,
+        )
 
-    residual = graph.subgraph(phase1.remaining).copy()
-    phase2 = run_phase2(
-        residual,
-        seed=_derive_seed(seed, 102),
-        config=config,
-        ledger=ledger,
-        size_bound=n,
-    )
+        residual = graph.subgraph(phase1.remaining).copy()
+        phase2 = run_phase2(
+            residual,
+            seed=_derive_seed(seed, 102),
+            config=config,
+            ledger=ledger,
+            size_bound=n,
+        )
 
-    phase3 = run_phase3(
-        phase2.components,
-        seed=_derive_seed(seed, 103),
-        config=config,
-        ledger=ledger,
-        size_bound=n,
-        variant="alg2",
-    )
+        phase3 = run_phase3(
+            phase2.components,
+            seed=_derive_seed(seed, 103),
+            config=config,
+            ledger=ledger,
+            size_bound=n,
+            variant="alg2",
+        )
 
     mis = phase1.joined | phase2.joined | phase3.joined
     metrics = RunMetrics.combine_sequential(

@@ -36,7 +36,7 @@ from typing import Optional, Set
 
 import networkx as nx
 
-from ..congest import EnergyLedger, Network, NodeProgram
+from ..congest import EnergyLedger, Network, NodeProgram, channel_scope
 from ..congest.metrics import RunMetrics
 from ..graphs.properties import max_degree
 from ..result import MISResult
@@ -451,13 +451,15 @@ def algorithm1_constant_average_energy(
     config: AlgorithmConfig = DEFAULT_CONFIG,
     ledger: Optional[EnergyLedger] = None,
     size_bound: Optional[int] = None,
+    channel=None,
 ) -> MISResult:
     """Algorithm 1 augmented per Section 4: O(1) node-averaged energy while
     keeping the Theorem 1.1 worst-case time/energy bounds."""
-    return _compose_average_energy(
-        graph, seed, config, ledger, run_phase1_alg1,
-        "algorithm1_avg_energy", "alg1", size_bound=size_bound,
-    )
+    with channel_scope(channel):
+        return _compose_average_energy(
+            graph, seed, config, ledger, run_phase1_alg1,
+            "algorithm1_avg_energy", "alg1", size_bound=size_bound,
+        )
 
 
 def algorithm2_constant_average_energy(
@@ -467,9 +469,11 @@ def algorithm2_constant_average_energy(
     config: AlgorithmConfig = DEFAULT_CONFIG,
     ledger: Optional[EnergyLedger] = None,
     size_bound: Optional[int] = None,
+    channel=None,
 ) -> MISResult:
     """Algorithm 2 augmented per Section 4."""
-    return _compose_average_energy(
-        graph, seed, config, ledger, run_phase1_alg2,
-        "algorithm2_avg_energy", "alg2", size_bound=size_bound,
-    )
+    with channel_scope(channel):
+        return _compose_average_energy(
+            graph, seed, config, ledger, run_phase1_alg2,
+            "algorithm2_avg_energy", "alg2", size_bound=size_bound,
+        )

@@ -38,7 +38,9 @@ from .events import (
     poisson_link_flaps,
 )
 
-WorkloadFactory = Callable[[int, int, int], Tuple[nx.Graph, List[Epoch]]]
+WorkloadFactory = Callable[
+    [int, int, int, float], Tuple[nx.Graph, List[Epoch]]
+]
 
 
 @dataclass(frozen=True)
@@ -50,41 +52,48 @@ class DynamicWorkload:
     factory: WorkloadFactory
 
     def build(
-        self, n: int = 200, epochs: int = 10, seed: int = 0
+        self, n: int = 200, epochs: int = 10, seed: int = 0,
+        rate: float = 1.0,
     ) -> Tuple[nx.Graph, List[Epoch]]:
         if n < 1:
             raise ValueError(f"workload size must be positive, got n={n}")
         if epochs < 0:
             raise ValueError(f"epochs must be non-negative, got {epochs}")
-        return self.factory(n, epochs, seed)
+        if rate <= 0:
+            raise ValueError(f"churn rate must be positive, got {rate}")
+        return self.factory(n, epochs, seed, rate)
 
 
-def _sensor_battery_decay(n, epochs, seed):
+def _sensor_battery_decay(n, epochs, seed, rate=1.0):
     graph = generators.random_geometric(n, seed=seed)
-    deaths = max(1, n // 100)
+    deaths = max(1, round(rate * max(1, n // 100)))
     return graph, battery_deaths(
         graph, epochs, deaths_per_epoch=deaths, seed=seed + 1
     )
 
 
-def _link_flap(n, epochs, seed):
+def _link_flap(n, epochs, seed, rate=1.0):
     graph = generators.random_geometric(n, seed=seed)
-    rate = max(2.0, graph.number_of_edges() / 50.0)
-    return graph, poisson_link_flaps(graph, epochs, rate=rate, seed=seed + 1)
+    flap_rate = rate * max(2.0, graph.number_of_edges() / 50.0)
+    return graph, poisson_link_flaps(
+        graph, epochs, rate=flap_rate, seed=seed + 1
+    )
 
 
-def _growth(n, epochs, seed):
+def _growth(n, epochs, seed, rate=1.0):
     bootstrap = max(2, n // 4)
     graph = generators.random_geometric(bootstrap, seed=seed)
-    joins = max(1, (n - bootstrap) // max(1, epochs))
+    joins = max(1, round(rate * max(1, (n - bootstrap) // max(1, epochs))))
     return graph, node_growth(
         graph, epochs, joins_per_epoch=joins, attachments=2, seed=seed + 1
     )
 
 
-def _adversarial_hubs(n, epochs, seed):
+def _adversarial_hubs(n, epochs, seed, rate=1.0):
     graph = generators.barabasi_albert(n, 3, seed=seed)
-    return graph, adversarial_hub_deletion(graph, epochs, hubs_per_epoch=1)
+    return graph, adversarial_hub_deletion(
+        graph, epochs, hubs_per_epoch=max(1, round(rate))
+    )
 
 
 WORKLOADS: Dict[str, DynamicWorkload] = {
@@ -115,11 +124,17 @@ WORKLOADS: Dict[str, DynamicWorkload] = {
 
 
 def make_workload(
-    name: str, n: int = 200, epochs: int = 10, seed: int = 0
+    name: str, n: int = 200, epochs: int = 10, seed: int = 0,
+    rate: float = 1.0,
 ) -> Tuple[nx.Graph, List[Epoch]]:
-    """Instantiate a registered workload by name."""
+    """Instantiate a registered workload by name.
+
+    ``rate`` scales the churn intensity (events per epoch) around each
+    scenario's default of 1.0, which is what energy-vs-churn-rate curves
+    sweep.
+    """
     if name not in WORKLOADS:
         raise KeyError(
             f"unknown dynamic workload {name!r}; have {sorted(WORKLOADS)}"
         )
-    return WORKLOADS[name].build(n=n, epochs=epochs, seed=seed)
+    return WORKLOADS[name].build(n=n, epochs=epochs, seed=seed, rate=rate)

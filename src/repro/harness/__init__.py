@@ -1,9 +1,18 @@
-"""Experiment harness: runner, sweeps, tables, and the E1–E11/A1–A3 registry."""
+"""Experiment harness: runner, sweeps, tables, and the experiment registry
+(E1–E11 theorem experiments, A1–A3 ablations, C1 channel models, D1 dynamic
+churn)."""
 
 from .experiments import DESCRIPTIONS, REGISTRY, run_all, run_experiment
-from .parallel import default_jobs, parallel_map, resolve_jobs, set_default_jobs
+from .parallel import (
+    default_jobs,
+    parallel_map,
+    resolve_jobs,
+    set_default_jobs,
+    use_jobs,
+)
 from .runner import (
     ALGORITHMS,
+    RADIO_SAFE_ALGORITHMS,
     measure,
     measure_dynamic,
     measure_dynamic_many,
@@ -17,6 +26,7 @@ from .tables import format_table, section
 __all__ = [
     "ALGORITHMS",
     "DESCRIPTIONS",
+    "RADIO_SAFE_ALGORITHMS",
     "REGISTRY",
     "SweepPoint",
     "default_jobs",
@@ -35,4 +45,5 @@ __all__ = [
     "series",
     "set_default_jobs",
     "sweep",
+    "use_jobs",
 ]

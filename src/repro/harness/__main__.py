@@ -6,7 +6,6 @@ import argparse
 import sys
 
 from .experiments import DESCRIPTIONS, REGISTRY, run_all, run_experiment
-from .parallel import set_default_jobs
 
 
 def main(argv=None) -> int:
@@ -29,18 +28,17 @@ def main(argv=None) -> int:
     parser.add_argument("--list", action="store_true", help="list experiments")
     args = parser.parse_args(argv)
 
-    if args.jobs is not None:
-        set_default_jobs(args.jobs)
-
     if args.list:
         for name in sorted(REGISTRY):
             print(f"{name}: {DESCRIPTIONS[name]}")
         return 0
     if args.all:
-        print(run_all(quick=args.quick))
+        print(run_all(quick=args.quick, n_jobs=args.jobs))
         return 0
     if args.experiment:
-        report, _ = run_experiment(args.experiment, quick=args.quick)
+        report, _ = run_experiment(
+            args.experiment, quick=args.quick, n_jobs=args.jobs
+        )
         print(report)
         return 0
     parser.print_help()

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
 Task = TypeVar("Task")
@@ -43,6 +44,27 @@ def set_default_jobs(n_jobs: Optional[int]) -> None:
 def default_jobs() -> int:
     """The process count used when ``n_jobs`` is not given explicitly."""
     return _DEFAULT_JOBS
+
+
+@contextmanager
+def use_jobs(n_jobs: Optional[int]):
+    """Temporarily install ``n_jobs`` as the module default.
+
+    ``None`` is a no-op (keep whatever default is active), so callers can
+    pass their own ``n_jobs=None`` through unconditionally. This is how
+    ``run_all(n_jobs=...)`` parallelizes every sweep inside every
+    experiment without changing a single experiment signature.
+    """
+    global _DEFAULT_JOBS
+    if n_jobs is None:
+        yield
+        return
+    previous = _DEFAULT_JOBS
+    _DEFAULT_JOBS = resolve_jobs(n_jobs)
+    try:
+        yield
+    finally:
+        _DEFAULT_JOBS = previous
 
 
 def resolve_jobs(n_jobs: Optional[int]) -> int:

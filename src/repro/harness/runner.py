@@ -7,7 +7,12 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 import networkx as nx
 
 from ..analysis import verify_mis
-from ..baselines import ghaffari_mis, luby_mis, regularized_luby_mis
+from ..baselines import (
+    ghaffari_mis,
+    luby_mis,
+    radio_decay_mis,
+    regularized_luby_mis,
+)
 from ..core import (
     algorithm1,
     algorithm1_constant_average_energy,
@@ -26,29 +31,63 @@ ALGORITHMS: Dict[str, Callable[..., MISResult]] = {
     "algorithm2": algorithm2,
     "algorithm1_avg": algorithm1_constant_average_energy,
     "algorithm2_avg": algorithm2_constant_average_energy,
+    "radio_decay": radio_decay_mis,
 }
+
+#: Algorithms whose protocol is sound on the shared radio medium (half-
+#: duplex, collisions): point-to-point algorithms silently lose messages
+#: there, so the CLI refuses the combination for anything else.
+RADIO_SAFE_ALGORITHMS = frozenset({"radio_decay"})
 
 
 def run_algorithm(
-    name: str, graph: nx.Graph, seed: int = 0, **kwargs
+    name: str, graph: nx.Graph, seed: int = 0, *, channel=None, **kwargs
 ) -> MISResult:
     """Run one registered algorithm by name.
 
-    Extra keyword arguments (``config=``, ``ledger=``, ``size_bound=``, ...)
-    are forwarded to the underlying algorithm untouched.
+    ``channel`` selects the delivery model (see
+    :data:`repro.congest.CHANNELS`): ``None`` keeps each algorithm's own
+    default (CONGEST for the paper's algorithms and baselines, the radio
+    broadcast channel for ``radio_decay``). Extra keyword arguments
+    (``config=``, ``ledger=``, ``size_bound=``, ...) are forwarded to the
+    underlying algorithm untouched.
     """
     if name not in ALGORITHMS:
         raise KeyError(f"unknown algorithm {name!r}; have {sorted(ALGORITHMS)}")
+    if channel is not None:
+        _check_radio_safety(name, channel)
+        kwargs["channel"] = channel
     return ALGORITHMS[name](graph, seed, **kwargs)
+
+
+def _check_radio_safety(name: str, channel) -> None:
+    """Refuse point-to-point algorithms on the shared radio medium.
+
+    On a broadcast channel a transmitter never hears its neighbors'
+    simultaneous transmissions (half-duplex), so algorithms like Luby
+    silently lose exactly the messages their correctness depends on — or
+    crash on the COLLISION sentinel. Failing loudly here protects every
+    caller (CLI, sweeps, process pools), not just one entry point.
+    """
+    from ..congest import BroadcastChannel, make_channel
+
+    if name in RADIO_SAFE_ALGORITHMS:
+        return
+    if isinstance(make_channel(channel), BroadcastChannel):
+        raise ValueError(
+            f"algorithm {name!r} is point-to-point and unsound on the "
+            f"shared radio medium; use one of "
+            f"{sorted(RADIO_SAFE_ALGORITHMS)} with the broadcast channel"
+        )
 
 
 def measure(name: str, graph: nx.Graph, seed: int = 0, **kwargs) -> Dict[str, float]:
     """Run an algorithm and flatten the interesting numbers into one dict.
 
     Keys: ``rounds``, ``max_energy``, ``average_energy``, ``mis_size``,
-    ``independent``, ``maximal`` (booleans as 0/1 so trials aggregate).
-    Keyword arguments are forwarded to the algorithm as in
-    :func:`run_algorithm`.
+    ``collisions``, ``independent``, ``maximal`` (booleans as 0/1 so trials
+    aggregate). Keyword arguments (including ``channel=``) are forwarded to
+    the algorithm as in :func:`run_algorithm`.
     """
     result = run_algorithm(name, graph, seed=seed, **kwargs)
     report = verify_mis(graph, result.mis)
@@ -57,27 +96,32 @@ def measure(name: str, graph: nx.Graph, seed: int = 0, **kwargs) -> Dict[str, fl
         "max_energy": float(result.max_energy),
         "average_energy": float(result.average_energy),
         "mis_size": float(len(result.mis)),
+        "collisions": float(result.metrics.collisions),
         "independent": 1.0 if report.independent else 0.0,
         "maximal": 1.0 if report.maximal else 0.0,
     }
 
 
-def _measure_task(task: Tuple[str, str, int, int]) -> Dict[str, float]:
+def _measure_task(task: Tuple) -> Dict[str, float]:
     """Worker for :func:`measure_many`: regenerate the graph, then measure."""
-    algorithm, family, n, seed = task
+    algorithm, family, n, seed, *rest = task
+    channel = rest[0] if rest else None
     graph = make_family(family, n, seed=seed)
-    return measure(algorithm, graph, seed=seed)
+    return measure(algorithm, graph, seed=seed, channel=channel)
 
 
 def measure_many(
-    tasks: Iterable[Tuple[str, str, int, int]],
+    tasks: Iterable[Tuple],
     *,
     n_jobs: Optional[int] = None,
 ) -> List[Dict[str, float]]:
-    """Measure many (algorithm, family, n, seed) cells, optionally in parallel.
+    """Measure many (algorithm, family, n, seed[, channel]) cells,
+    optionally in parallel.
 
     Each task tuple fully describes one deterministic simulation, so the
     results are identical (and identically ordered) for any ``n_jobs``.
+    The optional fifth element is a channel name from
+    :data:`repro.congest.CHANNELS` (``None`` = the algorithm's default).
     """
     return parallel_map(_measure_task, tasks, n_jobs=n_jobs)
 
@@ -90,6 +134,7 @@ def run_dynamic_workload(
     n: int = 200,
     epochs: int = 10,
     seed: int = 0,
+    rate: float = 1.0,
     **kwargs,
 ):
     """Run a named churn workload end-to-end; returns a ``DynamicRunResult``.
@@ -101,7 +146,9 @@ def run_dynamic_workload(
     """
     from ..dynamic import make_workload, run_dynamic  # deferred: import cycle
 
-    graph, timeline = make_workload(workload, n=n, epochs=epochs, seed=seed)
+    graph, timeline = make_workload(
+        workload, n=n, epochs=epochs, seed=seed, rate=rate
+    )
     return run_dynamic(
         graph, timeline, algorithm, strategy=strategy, seed=seed, **kwargs
     )
@@ -115,6 +162,7 @@ def measure_dynamic(
     n: int = 200,
     epochs: int = 10,
     seed: int = 0,
+    rate: float = 1.0,
     **kwargs,
 ) -> Dict[str, float]:
     """Flatten a dynamic run into one dict (see ``DynamicRunResult.summary``)."""
@@ -125,6 +173,7 @@ def measure_dynamic(
         n=n,
         epochs=epochs,
         seed=seed,
+        rate=rate,
         **kwargs,
     )
     return result.summary()
@@ -136,19 +185,21 @@ def _measure_dynamic_task(task: Tuple[Any, ...]) -> Dict[str, float]:
     Invariant violations are recorded in the summary's ``all_valid`` flag
     rather than raised, so one bad seed cannot kill a whole batch.
     """
-    workload, algorithm, strategy, n, epochs, seed = task
+    workload, algorithm, strategy, n, epochs, seed, *rest = task
+    rate = rest[0] if rest else 1.0
     return measure_dynamic(
         workload, algorithm, strategy=strategy, n=n, epochs=epochs,
-        seed=seed, check_invariant=False,
+        seed=seed, rate=rate, check_invariant=False,
     )
 
 
 def measure_dynamic_many(
-    tasks: Iterable[Tuple[str, str, str, int, int, int]],
+    tasks: Iterable[Tuple],
     *,
     n_jobs: Optional[int] = None,
 ) -> List[Dict[str, float]]:
-    """Measure many (workload, algorithm, strategy, n, epochs, seed) runs.
+    """Measure many (workload, algorithm, strategy, n, epochs, seed[, rate])
+    runs.
 
     The dynamic analogue of :func:`measure_many`: seeds fully determine
     each churn timeline and every repair, so parallel results are

@@ -13,27 +13,29 @@ from .runner import measure
 
 @dataclass
 class SweepPoint:
-    """Aggregated measurements for one (algorithm, family, n) cell."""
+    """Aggregated measurements for one (algorithm, family, n[, channel]) cell."""
 
     algorithm: str
     family: str
     n: int
     seeds: int
     summaries: Dict[str, Summary] = field(default_factory=dict)
+    channel: Optional[str] = None
 
     def mean(self, key: str) -> float:
         return self.summaries[key].mean
 
 
-def _sweep_task(task: Tuple[str, str, int, int]) -> Dict[str, float]:
+def _sweep_task(task: Tuple) -> Dict[str, float]:
     """One sweep cell trial; module-level so process pools can pickle it.
 
-    The graph is regenerated from (family, n, seed) inside the worker, so
-    parallel execution is bit-identical to the serial loop.
+    The graph is regenerated from (family, n, seed[, channel]) inside the
+    worker, so parallel execution is bit-identical to the serial loop.
     """
-    algorithm, family, n, seed = task
+    algorithm, family, n, seed, *rest = task
+    channel = rest[0] if rest else None
     graph = make_family(family, n, seed=seed)
-    return measure(algorithm, graph, seed=seed)
+    return measure(algorithm, graph, seed=seed, channel=channel)
 
 
 def sweep(
@@ -44,6 +46,7 @@ def sweep(
     seeds: int = 3,
     seed_base: int = 0,
     n_jobs: Optional[int] = None,
+    channel: Optional[str] = None,
 ) -> List[SweepPoint]:
     """Run every algorithm on every size with several seeds.
 
@@ -57,7 +60,7 @@ def sweep(
     if not algorithms or not sizes or seeds < 1:
         raise ValueError("need at least one algorithm, size, and seed")
     tasks = [
-        (algorithm, family, n, seed_base + trial)
+        (algorithm, family, n, seed_base + trial, channel)
         for algorithm in algorithms
         for n in sizes
         for trial in range(seeds)
@@ -76,6 +79,7 @@ def sweep(
                     n=n,
                     seeds=seeds,
                     summaries=aggregate_trials(trials),
+                    channel=channel,
                 )
             )
     return points

@@ -1,0 +1,321 @@
+"""Unit tests for the pluggable channel layer (congest/channels.py)."""
+
+import networkx as nx
+import pytest
+
+from repro import graphs
+from repro.baselines import luby_mis, radio_decay_mis
+from repro.analysis import verify_mis
+from repro.congest import (
+    CHANNELS,
+    COLLISION,
+    BroadcastChannel,
+    Channel,
+    ChannelError,
+    CongestChannel,
+    EnergyLedger,
+    LocalChannel,
+    MessageTooLargeError,
+    Network,
+    NodeProgram,
+    channel_scope,
+    make_channel,
+)
+
+
+class Scripted(NodeProgram):
+    """Transmit per a {round: payload} script; record everything heard."""
+
+    def __init__(self, script=None, unicast=None):
+        self.script = script or {}
+        self.unicast = unicast or {}
+        self.heard = {}
+
+    def on_round(self, ctx):
+        if ctx.round in self.script:
+            ctx.broadcast(self.script[ctx.round])
+        if ctx.round in self.unicast:
+            receiver, payload = self.unicast[ctx.round]
+            ctx.send(receiver, payload)
+
+    def on_receive(self, ctx, messages):
+        self.heard[ctx.round] = [(m.sender, m.payload) for m in messages]
+
+
+def _run_rounds(graph, programs, rounds, channel, **kwargs):
+    network = Network(graph, programs, channel=channel, **kwargs)
+    network.run_rounds(rounds)
+    return network
+
+
+class TestMakeChannel:
+    def test_registry_names_resolve(self):
+        for name in CHANNELS:
+            assert isinstance(make_channel(name), Channel)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown channel"):
+            make_channel("pigeon")
+
+    def test_instance_passes_through(self):
+        channel = LocalChannel()
+        assert make_channel(channel) is channel
+
+    def test_default_is_batched_congest(self):
+        channel = make_channel(None)
+        assert isinstance(channel, CongestChannel)
+        assert channel.batched
+
+    def test_scope_sets_default_and_nests(self):
+        with channel_scope("local"):
+            assert isinstance(make_channel(None), LocalChannel)
+            with channel_scope(None):  # None inherits, never masks
+                assert isinstance(make_channel(None), LocalChannel)
+            with channel_scope("broadcast"):
+                assert isinstance(make_channel(None), BroadcastChannel)
+            assert isinstance(make_channel(None), LocalChannel)
+        assert type(make_channel(None)) is CongestChannel
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(TypeError):
+            make_channel(42)
+
+
+class TestLocalChannel:
+    def test_unbounded_bandwidth(self):
+        """A payload far beyond the CONGEST budget sails through LOCAL."""
+        graph = nx.path_graph(2)
+        huge = "x" * 10_000  # 80k bits >> B
+        programs = {0: Scripted({0: huge}), 1: Scripted()}
+        network = _run_rounds(graph, programs, 1, "local")
+        assert programs[1].heard[0] == [(0, huge)]
+        assert network.total_message_bits == 0  # unpriced by design
+
+        with pytest.raises(MessageTooLargeError):
+            _run_rounds(
+                graph, {0: Scripted({0: huge}), 1: Scripted()}, 1, "congest"
+            )
+
+    def test_same_outputs_as_congest(self):
+        """LOCAL changes accounting, never delivery: Luby runs identically."""
+        graph = graphs.make_family("gnp_log_degree", 48, seed=3)
+        local = luby_mis(graph, seed=3, channel="local")
+        congest = luby_mis(graph, seed=3, channel="congest")
+        assert local.mis == congest.mis
+        assert local.rounds == congest.rounds
+        assert local.max_energy == congest.max_energy
+        assert local.metrics.messages_sent == congest.metrics.messages_sent
+        assert local.metrics.total_message_bits == 0
+        assert congest.metrics.total_message_bits > 0
+
+
+class TestBroadcastChannel:
+    def test_single_transmission_heard_cleanly(self):
+        graph = nx.path_graph(3)  # 0 - 1 - 2
+        programs = {0: Scripted({0: "hi"}), 1: Scripted(), 2: Scripted()}
+        network = _run_rounds(graph, programs, 1, "broadcast")
+        assert programs[1].heard[0] == [(0, "hi")]
+        assert programs[2].heard[0] == []  # not a neighbor of 0
+        assert network.messages_sent == 1  # one transmission, not per edge
+        assert network.messages_delivered == 1
+        assert network.collisions == 0
+
+    def test_collision_detected_and_billed(self):
+        graph = nx.path_graph(3)  # 1 and 2 both neighbor node 0? no: star
+        graph = nx.star_graph(2)  # center 0, leaves 1 and 2
+        programs = {v: Scripted({0: v} if v else {}) for v in graph.nodes}
+        programs[1].script = {0: "a"}
+        programs[2].script = {0: "b"}
+        programs[0].script = {}
+        ledger = EnergyLedger(graph.nodes)
+        network = _run_rounds(
+            graph, programs, 1, "broadcast", ledger=ledger
+        )
+        (sender, payload), = programs[0].heard[0]
+        assert sender == -1 and payload is COLLISION
+        assert network.collisions == 1
+        assert network.messages_delivered == 0
+        assert network.messages_dropped == 2
+        # 1 awake round + 1 collision billed; leaves pay only the round.
+        assert ledger.awake_rounds(0) == 2
+        assert ledger.awake_rounds(1) == 1
+        assert ledger.awake_rounds(2) == 1
+
+    def test_collision_without_detection_is_silence(self):
+        graph = nx.star_graph(2)
+        programs = {0: Scripted(), 1: Scripted({0: "a"}),
+                    2: Scripted({0: "b"})}
+        ledger = EnergyLedger(graph.nodes)
+        network = _run_rounds(
+            graph, programs, 1, "broadcast-no-cd", ledger=ledger
+        )
+        assert programs[0].heard[0] == []  # can't tell noise from silence
+        assert network.collisions == 1  # ...but the medium still collided
+        assert ledger.awake_rounds(0) == 2  # and the slot is still wasted
+
+    def test_half_duplex_transmitters_hear_nothing(self):
+        graph = nx.path_graph(2)
+        programs = {0: Scripted({0: "a"}), 1: Scripted({0: "b"})}
+        network = _run_rounds(graph, programs, 1, "broadcast")
+        assert programs[0].heard[0] == []
+        assert programs[1].heard[0] == []
+        assert network.collisions == 0  # nobody was listening
+
+    def test_sleeping_nodes_hear_nothing(self):
+        class Sleeper(Scripted):
+            def on_start(self, ctx):
+                ctx.wake_at(5)
+
+        graph = nx.path_graph(2)
+        programs = {0: Scripted({0: "a"}), 1: Sleeper()}
+        _run_rounds(graph, programs, 2, "broadcast")
+        assert programs[1].heard == {}
+
+    def test_unicast_send_rejected(self):
+        graph = nx.path_graph(2)
+        programs = {0: Scripted(unicast={0: (1, "x")}), 1: Scripted()}
+        with pytest.raises(ChannelError, match="shared medium"):
+            _run_rounds(graph, programs, 1, "broadcast")
+
+    def test_double_transmission_rejected(self):
+        class Twice(NodeProgram):
+            def on_round(self, ctx):
+                ctx.broadcast("a")
+                ctx.broadcast("b")
+
+        graph = nx.path_graph(2)
+        with pytest.raises(ChannelError, match="already transmitted"):
+            _run_rounds(graph, {v: Twice() for v in graph}, 1, "broadcast")
+
+    def test_bit_budget_still_enforced(self):
+        graph = nx.path_graph(2)
+        programs = {0: Scripted({0: "x" * 10_000}), 1: Scripted()}
+        with pytest.raises(MessageTooLargeError):
+            _run_rounds(graph, programs, 1, "broadcast")
+
+    def test_metrics_carry_collisions(self):
+        graph = nx.star_graph(2)
+        programs = {0: Scripted(), 1: Scripted({0: "a"}),
+                    2: Scripted({0: "b"})}
+        network = _run_rounds(graph, programs, 1, "broadcast")
+        assert network.metrics().collisions == 1
+
+
+class TestInboxView:
+    def _delivered_view(self):
+        graph = nx.star_graph(3)  # leaves 1..3 all send to center 0
+        programs = {v: Scripted({0: f"p{v}"} if v else {})
+                    for v in graph.nodes}
+
+        captured = {}
+
+        class Capture(Scripted):
+            def on_receive(self, ctx, messages):
+                captured["inbox"] = messages
+                super().on_receive(ctx, messages)
+
+        programs[0] = Capture()
+        _run_rounds(graph, programs, 1, "congest")
+        return captured["inbox"], programs[0]
+
+    def test_sequence_protocol(self):
+        inbox, center = self._delivered_view()
+        assert len(inbox) == 3
+        assert bool(inbox)
+        assert [m.sender for m in inbox] == [1, 2, 3]  # sorted-sender order
+        assert inbox[0].payload == "p1"
+        assert inbox == [type(inbox[0])(s, f"p{s}") for s in (1, 2, 3)]
+        assert center.heard[0] == [(1, "p1"), (2, "p2"), (3, "p3")]
+
+    def test_len_without_materialization(self):
+        """Counting messages must not build Message objects."""
+        graph = nx.star_graph(2)
+        lengths = {}
+
+        class CountOnly(NodeProgram):
+            def on_receive(self, ctx, messages):
+                lengths[ctx.node] = len(messages)
+
+        programs = {0: CountOnly(), 1: Scripted({0: "a"}),
+                    2: Scripted({0: "b"})}
+        programs[1].on_receive = lambda ctx, messages: None
+        programs[2].on_receive = lambda ctx, messages: None
+        _run_rounds(graph, programs, 1, "congest")
+        assert lengths[0] == 2
+
+
+class TestRadioDecayMIS:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_radio_mis_end_to_end(self, seed):
+        graph = graphs.make_family("gnp_log_degree", 96, seed=seed)
+        ledger = EnergyLedger(graph.nodes)
+        result = radio_decay_mis(graph, seed=seed, ledger=ledger)
+        report = verify_mis(graph, result.mis)
+        assert report.independent
+        assert report.maximal
+        assert result.metrics.collisions > 0  # real contention happened
+        # Collisions are billed: ledger total exceeds pure awake-rounds by
+        # exactly the collision count.
+        assert result.metrics.collisions == result.details["collisions"]
+
+    def test_runs_on_reliable_channels_too(self):
+        graph = graphs.make_family("gnp_log_degree", 64, seed=1)
+        result = radio_decay_mis(graph, seed=1, channel="congest")
+        report = verify_mis(graph, result.mis)
+        assert report.independent and report.maximal
+        assert result.metrics.collisions == 0
+
+
+class TestStaleViewGuard:
+    def test_stale_unmaterialized_view_raises(self):
+        """Reading a stashed inbox view after its round must fail loudly,
+        not silently serve recycled buffers."""
+        stashed = {}
+
+        class Stasher(NodeProgram):
+            def on_round(self, ctx):
+                ctx.broadcast("beat")
+
+            def on_receive(self, ctx, messages):
+                if ctx.round == 0 and ctx.node == 0:
+                    stashed["inbox"] = messages  # kept without reading
+                if ctx.round >= 1:
+                    ctx.halt()
+
+        graph = nx.path_graph(2)
+        _run_rounds(graph, {v: Stasher() for v in graph}, 2, "congest")
+        with pytest.raises(ChannelError, match="recycled"):
+            list(stashed["inbox"])
+
+    def test_copy_within_round_survives(self):
+        copies = {}
+
+        class Copier(NodeProgram):
+            def on_round(self, ctx):
+                ctx.broadcast(ctx.round)
+
+            def on_receive(self, ctx, messages):
+                if ctx.round == 0 and ctx.node == 0:
+                    copies["inbox"] = list(messages)  # materializes now
+                if ctx.round >= 1:
+                    ctx.halt()
+
+        graph = nx.path_graph(2)
+        _run_rounds(graph, {v: Copier() for v in graph}, 2, "congest")
+        assert [(m.sender, m.payload) for m in copies["inbox"]] == [(1, 0)]
+
+
+class TestRadioSafety:
+    def test_point_to_point_algorithm_refused_on_broadcast(self):
+        from repro.harness import run_algorithm
+
+        graph = graphs.make_family("grid", 25, seed=0)
+        with pytest.raises(ValueError, match="unsound on the shared radio"):
+            run_algorithm("luby", graph, channel="broadcast")
+
+    def test_radio_safe_and_reliable_combos_allowed(self):
+        from repro.harness import run_algorithm
+
+        graph = graphs.make_family("grid", 25, seed=0)
+        run_algorithm("radio_decay", graph, channel="broadcast")
+        run_algorithm("luby", graph, channel="local")

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.congest import Message, default_bit_budget, payload_bits
+from repro.congest import (
+    Message,
+    default_bit_budget,
+    payload_bits,
+    payload_bits_cached,
+)
 
 
 class TestPayloadBits:
@@ -45,6 +50,51 @@ class TestPayloadBits:
     def test_unpriceable_type_raises(self):
         with pytest.raises(TypeError):
             payload_bits(object())
+
+    def test_bool_inside_containers_prices_as_bool(self):
+        """bool is an int subclass; framing must stay consistent inside
+        containers: a bool element costs 1 bit + 2 framing, never the int
+        price of its numeric value."""
+        assert payload_bits((True,)) == 1 + 2
+        assert payload_bits((1,)) == 2 + 2
+        assert payload_bits([False, True]) == (1 + 2) * 2
+        assert payload_bits({True: 7}) == 1 + 4 + 4
+        assert payload_bits(frozenset([True])) == 1 + 2
+        # Mixed nesting: ((True, 1),) = ((1+2)+(2+2)) + 2 outer framing.
+        assert payload_bits(((True, 1),)) == 7 + 2
+
+
+class TestPayloadBitsCached:
+    """The memoized pricer must agree with the plain pricer everywhere —
+    including the regression where ``(True,)`` and ``(1,)`` are equal,
+    hash-equal tuples that price differently."""
+
+    CASES = [
+        None, True, False, 0, 1, 7, -8, 2**20, 3.14, "ab",
+        (True,), (1,), (True, 1), (1, True), ((True,), (1,)),
+        frozenset([True]), frozenset([2]),
+        [True, 1], {True: 1}, {1: True},  # unhashable: uncached path
+    ]
+
+    @pytest.mark.parametrize("payload", CASES, ids=repr)
+    def test_matches_uncached(self, payload):
+        assert payload_bits_cached(payload) == payload_bits(payload)
+
+    def test_equal_containers_of_different_element_types_do_not_collide(self):
+        # Prime the cache with the bool variant first, then price the int
+        # variant: a (type, value) cache key would return 3 for both.
+        assert payload_bits_cached((True,)) == 3
+        assert payload_bits_cached((1,)) == 4
+        assert payload_bits_cached(frozenset([True])) == 3
+        assert payload_bits_cached(frozenset([1])) == 4
+
+    def test_scalar_bool_int_distinguished(self):
+        assert payload_bits_cached(True) == 1
+        assert payload_bits_cached(1) == 2
+
+    def test_repeat_calls_stable(self):
+        for _ in range(3):
+            assert payload_bits_cached((True, 5)) == payload_bits((True, 5))
 
 
 class TestDefaultBitBudget:

@@ -93,3 +93,84 @@ class TestNetworkTrace:
         )
         network.run()
         assert network.trace.wake_rounds_of(1) == [2]
+
+
+class TestIdleSpanRoundTrip:
+    """Compact idle spans must expand to exactly the per-round view the
+    legacy engine records (satellite of the channel-layer PR)."""
+
+    def _synthetic_pair(self):
+        """The same execution recorded both ways: fast (spans) and legacy
+        (one explicit record per round, idle rounds absent from records
+        only when truly empty — the legacy engine records every round)."""
+        from repro.congest import NetworkTrace
+
+        fast = NetworkTrace()
+        legacy = NetworkTrace()
+        # Round 0: nodes {0, 1} awake, 2 sent / 1 delivered / 1 dropped.
+        for trace in (fast, legacy):
+            trace.record(0, {0, 1}, 2, 1, 1)
+        # Rounds 1..4 idle.
+        fast.record_idle(1, 4)
+        for r in range(1, 5):
+            legacy.record(r, set(), 0, 0, 0)
+        # Round 5: node 2 awake.
+        for trace in (fast, legacy):
+            trace.record(5, {2}, 0, 0, 0)
+        # Rounds 6..6: a single-round span.
+        fast.record_idle(6, 6)
+        legacy.record(6, set(), 0, 0, 0)
+        # Round 7: all awake.
+        for trace in (fast, legacy):
+            trace.record(7, {0, 1, 2}, 3, 3, 0)
+        return fast, legacy
+
+    def test_derived_views_match(self):
+        fast, legacy = self._synthetic_pair()
+        assert fast.rounds == legacy.rounds == 8
+        assert fast.awake_counts() == legacy.awake_counts()
+        for node in (0, 1, 2):
+            assert fast.wake_rounds_of(node) == legacy.wake_rounds_of(node)
+        assert fast.message_totals() == legacy.message_totals()
+        assert fast.sleep_diagram([0, 1, 2]) == legacy.sleep_diagram([0, 1, 2])
+
+    def test_span_validation(self):
+        import pytest
+
+        from repro.congest import NetworkTrace
+
+        with pytest.raises(ValueError):
+            NetworkTrace().record_idle(5, 4)
+
+    def test_engine_round_trip_fast_vs_legacy(self):
+        """A real gappy run: the engine's compact spans reproduce the legacy
+        per-round trace through every derived view."""
+
+        class Gappy(NodeProgram):
+            def on_start(self, ctx):
+                ctx.use_wake_schedule([2 + 5 * (ctx.node % 2), 20, 33])
+
+            def on_round(self, ctx):
+                if ctx.neighbors:
+                    ctx.send(ctx.neighbors[0], True)
+
+            def on_receive(self, ctx, messages):
+                if ctx.round >= 33:
+                    ctx.halt()
+
+        def run(legacy):
+            graph = graphs.path(4)
+            network = Network(
+                graph, {v: Gappy() for v in graph.nodes}, trace=True
+            )
+            network.run(legacy=legacy)
+            return network.trace
+
+        fast, legacy = run(False), run(True)
+        assert fast.idle_spans and not legacy.idle_spans  # genuinely compact
+        assert fast.rounds == legacy.rounds
+        assert fast.awake_counts() == legacy.awake_counts()
+        for node in range(4):
+            assert fast.wake_rounds_of(node) == legacy.wake_rounds_of(node)
+        assert fast.message_totals() == legacy.message_totals()
+        assert fast.sleep_diagram(range(4)) == legacy.sleep_diagram(range(4))

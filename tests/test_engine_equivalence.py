@@ -1,4 +1,4 @@
-"""Fast path ⇔ legacy loop equivalence regression.
+"""Fast path ⇔ legacy loop ⇔ channel-layer equivalence regression.
 
 The engine's idle-round fast-forward and cached round loop are pure
 optimizations: for every algorithm and workload, outputs, metrics, and
@@ -7,13 +7,26 @@ ledger state must be *bit-identical* to the naive one-step-per-round loop
 suite locks that in for every registered algorithm on several graph
 families, and for hand-built schedules that exercise the tricky corners
 (idle gaps, mid-run halts, re-scheduling, truncated ``run_rounds``).
+
+The channel layer adds a second axis: ``CongestChannel(batched=True)``
+(flat per-edge buffers, lazy inbox views) must be bit-identical to
+``CongestChannel(batched=False)`` — the pre-refactor per-``Message``
+delivery loop kept verbatim as the reference semantics — on *both* engine
+paths. The four-way matrix {batched, per-message} × {fast, legacy} proves
+the batched hot path preserves the seed semantics exactly.
 """
 
 import networkx as nx
 import pytest
 
 from repro import graphs
-from repro.congest import EnergyLedger, Network, NodeProgram, legacy_engine
+from repro.congest import (
+    EnergyLedger,
+    Network,
+    NodeProgram,
+    channel_scope,
+    legacy_engine,
+)
 from repro.congest.network import set_legacy_mode
 from repro.harness import ALGORITHMS, run_algorithm
 
@@ -50,6 +63,44 @@ def test_algorithms_identical_across_engine_paths(algorithm, family):
     assert _metrics_tuple(fast.metrics) == _metrics_tuple(legacy.metrics)
     assert fast.metrics == legacy.metrics  # includes per-phase breakdowns
     assert fast_ledger.snapshot() == legacy_ledger.snapshot()
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_batched_channel_identical_to_per_message_reference(algorithm, family):
+    """Batched per-edge-buffer delivery == the seed per-Message semantics.
+
+    ``congest-per-message`` is the pre-channel-layer delivery loop kept
+    verbatim, so equality here (on the fast *and* the legacy engine)
+    certifies the batched channel against the original engine bit for bit:
+    same outputs, same metrics (message counts, bit totals, maxima), same
+    per-node energy ledgers.
+    """
+    graph = graphs.make_family(family, N, seed=5)
+
+    results = {}
+    for channel in ("congest", "congest-per-message"):
+        for use_legacy in (False, True):
+            ledger = EnergyLedger(graph.nodes)
+            with channel_scope(channel):
+                if use_legacy:
+                    with legacy_engine():
+                        result = run_algorithm(
+                            algorithm, graph, seed=5, ledger=ledger
+                        )
+                else:
+                    result = run_algorithm(
+                        algorithm, graph, seed=5, ledger=ledger
+                    )
+            results[(channel, use_legacy)] = (result, ledger.snapshot())
+
+    reference, reference_ledger = results[("congest-per-message", True)]
+    for key, (result, ledger_snapshot) in results.items():
+        assert result.mis == reference.mis, key
+        assert _metrics_tuple(result.metrics) == \
+            _metrics_tuple(reference.metrics), key
+        assert result.metrics == reference.metrics, key
+        assert ledger_snapshot == reference_ledger, key
 
 
 class GappySleeper(NodeProgram):

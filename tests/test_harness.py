@@ -29,8 +29,9 @@ class TestRunner:
         outcome = measure("luby", graphs.path(10), seed=0)
         assert set(outcome) == {
             "rounds", "max_energy", "average_energy", "mis_size",
-            "independent", "maximal",
+            "collisions", "independent", "maximal",
         }
+        assert outcome["collisions"] == 0.0  # point-to-point channel
         assert outcome["independent"] == 1.0
 
 
@@ -77,7 +78,11 @@ class TestTables:
 
 class TestExperimentRegistry:
     def test_all_experiments_registered(self):
-        expected = {f"E{i}" for i in range(1, 12)} | {"A1", "A2", "A3"}
+        expected = (
+            {f"E{i}" for i in range(1, 12)}
+            | {"A1", "A2", "A3"}
+            | {"C1", "D1"}
+        )
         assert expected == set(REGISTRY)
         assert expected == set(DESCRIPTIONS)
 
