@@ -16,9 +16,9 @@ import argparse
 import sys
 
 from .analysis import verify_mis
-from .congest import CHANNELS
+from .congest import CHANNELS, ENGINE_MODES, set_engine_mode
 from .graphs import FAMILIES, make_family
-from .harness import ALGORITHMS, RADIO_SAFE_ALGORITHMS, run_algorithm
+from .harness import ALGORITHMS, run_algorithm
 
 
 def _static_main(argv) -> int:
@@ -50,6 +50,15 @@ def _static_main(argv) -> int:
         ),
     )
     parser.add_argument(
+        "--engine", default="auto", choices=list(ENGINE_MODES),
+        help=(
+            "engine path: auto (vectorized dense rounds when the program "
+            "declares the capability), fast (cached loop only), legacy "
+            "(naive per-round loop), or vectorized (require the "
+            "vectorized path; error if it cannot engage)"
+        ),
+    )
+    parser.add_argument(
         "--seeds", type=int, default=1, metavar="K",
         help="run K seeds (seed, seed+1, ...) and report per-seed + mean",
     )
@@ -74,13 +83,18 @@ def _static_main(argv) -> int:
         print("workloads: ", ", ".join(sorted(WORKLOADS)), "(via 'dynamic')")
         return 0
 
-    if args.channel in ("broadcast", "broadcast-no-cd") and \
-            args.algorithm not in RADIO_SAFE_ALGORITHMS:
-        parser.error(
-            f"algorithm {args.algorithm!r} is point-to-point and unsound "
-            f"on a radio medium; use one of "
-            f"{sorted(RADIO_SAFE_ALGORITHMS)} with --channel broadcast"
-        )
+    if args.channel is not None:
+        # Delegate to the isinstance-based check so every broadcast
+        # variant (broadcast, broadcast-no-cd, broadcast-scalar, future
+        # ones) gets the clean argparse error, not a traceback later.
+        from .harness.runner import _check_radio_safety
+
+        try:
+            _check_radio_safety(args.algorithm, args.channel)
+        except ValueError as error:
+            parser.error(str(error))
+
+    set_engine_mode(args.engine)
 
     if args.seeds > 1:
         return _static_multi_seed(args)
@@ -122,7 +136,13 @@ def _static_multi_seed(args) -> int:
         (args.algorithm, args.family, args.n, seed, args.channel)
         for seed in seeds
     ]
-    outcomes = measure_many(tasks, n_jobs=args.jobs)
+    # Engine mode is ambient (not part of the task tuple), so it must be
+    # re-installed inside each worker — spawn-started pools inherit
+    # nothing from the parent's set_engine_mode call.
+    outcomes = measure_many(
+        tasks, n_jobs=args.jobs,
+        initializer=set_engine_mode, initargs=(args.engine,),
+    )
 
     print(f"graph:     {args.family}, n={args.n}")
     print(f"algorithm: {args.algorithm}, seeds {seeds[0]}..{seeds[-1]}, "

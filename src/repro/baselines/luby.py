@@ -20,8 +20,10 @@ from __future__ import annotations
 from typing import Optional, Set, Tuple
 
 import networkx as nx
+import numpy as np
 
 from ..congest import EnergyLedger, Network, NodeProgram
+from ..congest.vectorized import VectorRound, int_bit_length
 from ..result import MISResult
 
 _MARK = 0  # sub-round: marked nodes announce (mark, degree)
@@ -113,6 +115,156 @@ class LubyProgram(NodeProgram):
             self.active_neighbors -= retirees
             if self.pending_retirement:
                 ctx.halt()
+
+    @classmethod
+    def vector_round(cls, network):
+        """Engine capability hook: Luby rounds vectorize whole-network."""
+        return _LubyVectorRound(network)
+
+
+_STATE_CODES = {_ACTIVE: 0, _JOINED: 1, _REMOVED: 2}
+_STATE_NAMES = {code: name for name, code in _STATE_CODES.items()}
+
+
+class _LubyVectorRound(VectorRound):
+    """Whole-network Luby rounds over flat numpy columns.
+
+    Exploits two invariants of the scalar program to stay bit-identical:
+
+    * every node that dies (halts) has announced first — a joiner at its
+      RESOLVE round, a retiree at its RETIRE round — and every live node
+      hears every announcement (all undecided nodes are always awake), so
+      at any round boundary ``active_neighbors(v) == {u in N(v): alive(u)}``
+      and the active degree is one CSR segment-sum over the alive mask;
+    * the active degree cannot change between a MARK round and its RESOLVE
+      (deaths happen only in RESOLVE/RETIRE receive phases), so the degree
+      column cached at MARK prices that cycle's payloads *and* builds the
+      RESOLVE priority keys ``(degree, id)`` — encoded as
+      ``degree * n + rank`` (rank order is label order, so the encoding is
+      order-isomorphic to the scalar tuple compare).
+
+    RNG draw order matches the scalar loop exactly: only ACTIVE nodes with
+    a live neighbor draw, in sorted node order, one uniform per MARK.
+    """
+
+    def load(self) -> None:
+        arrays = self.arrays
+        network = self.network
+        n = arrays.n
+        self.alive = np.zeros(n, dtype=bool)
+        self.state = np.zeros(n, dtype=np.int8)
+        self.marked = np.zeros(n, dtype=bool)
+        self.pending = np.zeros(n, dtype=bool)
+        always_on = network._always_on
+        for i, node in enumerate(arrays.nodes):
+            program = network.programs[node]
+            # Vector rounds only run while the whole population is
+            # always-on (the engine gates on an empty wake calendar), so
+            # membership there — not just "not halted" — is what "awake
+            # every round" means.
+            self.alive[i] = node in always_on
+            self.state[i] = _STATE_CODES[program.state]
+            self.marked[i] = program.marked
+            self.pending[i] = program.pending_retirement
+        # Active degree at the current cycle's MARK == live-neighbor count
+        # (see class docstring); refreshed at every MARK round.
+        self.active_deg = arrays.neighbor_count(self.alive)
+
+    def flush_state(self) -> None:
+        arrays = self.arrays
+        network = self.network
+        alive = self.alive
+        indptr, indices = arrays.indptr, arrays.indices
+        nodes = arrays.nodes
+        # Reconstruct MARK-receive inboxes only when the next round is a
+        # RESOLVE (the one point where the scalar path reads them).
+        rebuild_inbox = (network.round_index + 1) % 3 == _RESOLVE
+        for i, node in enumerate(nodes):
+            program = network.programs[node]
+            program.state = _STATE_NAMES[int(self.state[i])]
+            program.marked = bool(self.marked[i])
+            program.pending_retirement = bool(self.pending[i])
+            if alive[i]:
+                row = indices[indptr[i]:indptr[i + 1]]
+                program.active_neighbors = {
+                    nodes[u] for u in row if alive[u]
+                }
+                if rebuild_inbox:
+                    program.marked_neighbors = [
+                        (nodes[u], int(self.active_deg[u]))
+                        for u in row
+                        if self.marked[u] and self.state[u] == 0
+                    ]
+
+    # ------------------------------------------------------------------
+    def step_round(self) -> None:
+        phase = self.network.round_index % 3
+        self.charge_awake(self.alive)
+        if phase == _MARK:
+            self._mark()
+        elif phase == _RESOLVE:
+            self._resolve()
+        else:
+            self._retire()
+
+    def _mark(self) -> None:
+        arrays = self.arrays
+        alive = self.alive
+        degree = arrays.neighbor_count(alive)
+        self.active_deg = degree
+        active = alive & (self.state == 0)
+        marked = np.zeros(arrays.n, dtype=bool)
+        marked[active & (degree == 0)] = True  # isolated: joins unopposed
+        contenders = np.nonzero(active & (degree > 0))[0]
+        if contenders.size:
+            draws = self.draws.take(contenders)
+            marked[contenders] = draws < 0.5 / degree[contenders]
+        self.marked = marked
+        bits = 6 + np.maximum(1, int_bit_length(degree)) if self.priced \
+            else None
+        self.count_broadcasts(marked, alive, bits, alive_neighbors=degree)
+
+    def _resolve(self) -> None:
+        arrays = self.arrays
+        alive = self.alive
+        n = arrays.n
+        degree = self.active_deg
+        key = degree * np.int64(n) + np.arange(n, dtype=np.int64)
+        contender_key = np.where(self.marked & (self.state == 0), key, -1)
+        rival = arrays.neighbor_max(contender_key, empty=np.int64(-1))
+        winners = self.marked & (self.state == 0) & (rival < key)
+        winner_idx = np.nonzero(winners)[0]
+        round_index = self.network.round_index
+        for i in winner_idx:
+            self.state[i] = 1
+            output = self.output_of(i)
+            output["in_mis"] = True
+            output["decided_round"] = round_index
+        one_bit = np.ones(n, dtype=np.int64) if self.priced else None
+        # No deaths since MARK, so the cached degree *is* this round's
+        # live-neighbor count.
+        self.count_broadcasts(winners, alive, one_bit, alive_neighbors=degree)
+        # Receive phase: non-winners that heard a join retire their link
+        # and (if still competing) schedule their retirement announcement.
+        joined_nearby = arrays.neighbor_count(winners)
+        heard = alive & ~winners & (joined_nearby > 0)
+        removed = heard & (self.state == 0)
+        self.pending[removed] = True
+        self.state[removed] = 2
+        for i in np.nonzero(removed)[0]:
+            self.output_of(i)["decided_round"] = round_index
+        alive[winner_idx] = False
+        self.halt_ranks(winner_idx)
+
+    def _retire(self) -> None:
+        arrays = self.arrays
+        alive = self.alive
+        retirees = self.pending & alive
+        one_bit = np.ones(arrays.n, dtype=np.int64) if self.priced else None
+        self.count_broadcasts(retirees, alive, one_bit)
+        retiree_idx = np.nonzero(retirees)[0]
+        alive[retiree_idx] = False
+        self.halt_ranks(retiree_idx)
 
 
 def luby_mis(

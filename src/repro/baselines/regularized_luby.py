@@ -24,8 +24,10 @@ import math
 from typing import Optional
 
 import networkx as nx
+import numpy as np
 
 from ..congest import EnergyLedger, Network, NodeProgram
+from ..congest.vectorized import VectorRound
 from ..graphs.properties import max_degree
 from ..result import MISResult
 
@@ -83,6 +85,112 @@ class RegularizedLubyProgram(NodeProgram):
                 ctx.halt()
             elif messages:  # a neighbor joined: dominated
                 ctx.halt()
+
+    @classmethod
+    def vector_round(cls, network):
+        """Engine capability hook: whole-network mark/join sub-rounds.
+
+        Declines (returns None, keeping the scalar path) when programs
+        were built with differing schedule parameters — the vectorized
+        round applies one global marking probability, which is only
+        faithful when every node shares the schedule (as the
+        ``regularized_luby_mis`` driver guarantees).
+        """
+        programs = iter(network.programs.values())
+        template = next(programs)
+        schedule = (template.iterations, template.rounds_per_iteration,
+                    template.delta, template.mark_divisor)
+        for program in programs:
+            if (program.iterations, program.rounds_per_iteration,
+                    program.delta, program.mark_divisor) != schedule:
+                return None
+        return _RegularizedLubyVectorRound(network)
+
+
+class _RegularizedLubyVectorRound(VectorRound):
+    """Vectorized regularized-Luby rounds.
+
+    The marking probability is a *global* function of the algorithm round
+    (no per-node degree), so one scalar probability gates a whole draw
+    column; every live node draws each MARK sub-round in sorted node
+    order, exactly like the scalar loop.  All schedule parameters are
+    identical across nodes by construction (one factory builds every
+    program), so they are read from an arbitrary instance.
+    """
+
+    def load(self) -> None:
+        arrays = self.arrays
+        network = self.network
+        n = arrays.n
+        self.alive = np.zeros(n, dtype=bool)
+        self.marked = np.zeros(n, dtype=bool)
+        self.saw_marked = np.zeros(n, dtype=bool)
+        self.joined = np.zeros(n, dtype=bool)
+        always_on = network._always_on
+        for i, node in enumerate(arrays.nodes):
+            program = network.programs[node]
+            self.alive[i] = node in always_on
+            self.marked[i] = program.marked
+            self.saw_marked[i] = program.saw_marked_neighbor
+            self.joined[i] = program.joined
+        self._template = next(iter(network.programs.values()))
+        # Valid at any engagement boundary: nobody halts between a MARK
+        # and its JOIN, so live-neighbor counts are cycle-stable.
+        self._alive_neighbors = arrays.neighbor_count(self.alive)
+
+    def flush_state(self) -> None:
+        programs = self.network.programs
+        for i, node in enumerate(self.arrays.nodes):
+            program = programs[node]
+            program.marked = bool(self.marked[i])
+            program.saw_marked_neighbor = bool(self.saw_marked[i])
+            program.joined = bool(self.joined[i])
+
+    def step_round(self) -> None:
+        algo_round, sub = divmod(self.network.round_index, 2)
+        self.charge_awake(self.alive)
+        if sub == _MARK:
+            self._mark(algo_round)
+        else:
+            self._join()
+
+    def _mark(self, algo_round: int) -> None:
+        arrays = self.arrays
+        alive = self.alive
+        probability = self._template._probability(algo_round)
+        marked = np.zeros(arrays.n, dtype=bool)
+        drawers = np.nonzero(alive)[0]
+        if drawers.size:
+            marked[drawers] = self.draws.take(drawers) < probability
+        self.marked = marked
+        # Nobody halts between a MARK and its JOIN (deaths happen in the
+        # JOIN receive phase), so this cycle's live-neighbor counts price
+        # both sub-rounds' deliveries.
+        self._alive_neighbors = arrays.neighbor_count(alive)
+        one_bit = np.ones(arrays.n, dtype=np.int64) if self.priced else None
+        self.count_broadcasts(
+            marked, alive, one_bit, alive_neighbors=self._alive_neighbors
+        )
+        self.saw_marked = np.zeros(arrays.n, dtype=bool)
+        self.saw_marked[alive] = (arrays.neighbor_count(marked) > 0)[alive]
+
+    def _join(self) -> None:
+        arrays = self.arrays
+        alive = self.alive
+        winners = alive & self.marked & ~self.saw_marked
+        self.joined |= winners
+        for i in np.nonzero(winners)[0]:
+            self.output_of(i)["in_mis"] = True
+        one_bit = np.ones(arrays.n, dtype=np.int64) if self.priced else None
+        self.count_broadcasts(
+            winners, alive, one_bit, alive_neighbors=self._alive_neighbors
+        )
+        dominated = (
+            alive & ~winners & (arrays.neighbor_count(winners) > 0)
+        )
+        halting = np.nonzero(winners | dominated)[0]
+        alive[halting] = False
+        self.halt_ranks(halting)
 
 
 def regularized_luby_mis(

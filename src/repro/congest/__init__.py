@@ -31,16 +31,45 @@ from .errors import (
     NotANeighborError,
     SchedulingError,
     SimulationLimitError,
+    VectorizationError,
 )
 from .message import Message, default_bit_budget, payload_bits, payload_bits_cached
 from .metrics import EnergyLedger, RunMetrics
-from .network import Network, legacy_engine, run_uniform_program, set_legacy_mode
+from .network import (
+    ENGINE_MODES,
+    Network,
+    engine_mode,
+    get_engine_mode,
+    legacy_engine,
+    run_uniform_program,
+    set_engine_mode,
+    set_legacy_mode,
+)
 from .program import Context, NodeProgram
 from .trace import NetworkTrace, RoundRecord
+from .vectorized import (
+    DrawStreams,
+    GraphArrays,
+    VectorRound,
+    graph_arrays,
+    reset_vector_stats,
+    vector_stats,
+)
 
 __all__ = [
     "BroadcastChannel",
     "CHANNELS",
+    "DrawStreams",
+    "ENGINE_MODES",
+    "GraphArrays",
+    "VectorRound",
+    "VectorizationError",
+    "engine_mode",
+    "get_engine_mode",
+    "graph_arrays",
+    "reset_vector_stats",
+    "set_engine_mode",
+    "vector_stats",
     "COLLISION",
     "COLLISION_MESSAGE",
     "Channel",

@@ -35,7 +35,13 @@ Three models ship with the engine:
     listener hears only noise (a :data:`COLLISION` message when collision
     detection is on, silence otherwise). Each collision a listener suffers
     is billed to the energy ledger (a wasted listening slot), which is the
-    accounting radio-network MIS papers charge.
+    accounting radio-network MIS papers charge. A transmitter never pays a
+    collision charge on top of its transmit slot — half-duplex means it
+    cannot waste a listening slot. The default listener scan is one
+    per-round numpy bincount over transmitter edges;
+    ``BroadcastChannel(vectorized=False)`` (registry name
+    ``"broadcast-scalar"``) keeps the per-listener O(deg) reference scan
+    the regression tests pin it against.
 
 Channels are selected per :class:`~repro.congest.network.Network` via
 ``Network(..., channel=...)`` — a name from :data:`CHANNELS`, an instance,
@@ -221,10 +227,16 @@ class CongestChannel(Channel):
     def __init__(self, batched: bool = True):
         super().__init__()
         self.batched = batched
+        # Monotonic across the channel's whole lifetime, *never* reset by
+        # bind(): an _InboxView minted against one network must not read
+        # the recycled buffers of a later network the same channel
+        # instance is re-bound to (multi-phase drivers reuse instances).
+        self._round_serial = 0
 
     # -- lifecycle ------------------------------------------------------
     def bind(self, network) -> None:
         self._network = network
+        self._round_serial += 1
         if not self.batched:
             return
         # One slot per directed edge, grouped contiguously by receiver and
@@ -259,7 +271,6 @@ class CongestChannel(Channel):
         self._payloads: List[Any] = [None] * cursor
         self._occupied = bytearray(cursor)
         self._dirty: List[int] = []
-        self._round_serial = 0
 
     # -- send side ------------------------------------------------------
     def price(self, payload: Any) -> int:
@@ -519,10 +530,15 @@ class BroadcastChannel(Channel):
     name = "broadcast"
 
     def __init__(self, collision_detection: bool = True,
-                 collision_cost: int = 1):
+                 collision_cost: int = 1, vectorized: bool = True):
         super().__init__()
         self.collision_detection = collision_detection
         self.collision_cost = collision_cost
+        # The default listener scan replaces the per-listener O(deg)
+        # membership loop with one per-round bincount over transmitter
+        # edges; ``vectorized=False`` keeps the original scalar scan as
+        # the bit-exact reference (regression-pinned in tests).
+        self.vectorized = vectorized
 
     def price(self, payload: Any) -> int:
         return payload_bits_cached(payload)
@@ -563,6 +579,14 @@ class BroadcastChannel(Channel):
         inboxes: Dict[int, List[Message]] = {}
         if not transmitters:
             return inboxes
+        if self.vectorized:
+            return self._scan_vectorized(transmitters, awake, inboxes)
+        return self._scan_scalar(ordered, transmitters, inboxes)
+
+    def _scan_scalar(self, ordered, transmitters, inboxes):
+        """Reference listener scan: O(deg) membership test per listener."""
+        network = self._network
+        contexts = network.contexts
         ledger = network.ledger
         for node in ordered:
             if node in transmitters:
@@ -586,6 +610,76 @@ class BroadcastChannel(Channel):
                     inboxes[node] = [COLLISION_MESSAGE]
         return inboxes
 
+    def _scan_vectorized(self, transmitters, awake, inboxes):
+        """One bincount over transmitter edges replaces all listener scans.
+
+        ``counts[i]`` is the number of transmitting neighbors of rank
+        ``i``; listeners with count 1 receive, count >= 2 collide.  The
+        weighted bincount recovers the unique sender of a clean reception
+        without a second adjacency pass. Only ranks with signal are then
+        visited, so a round costs O(sum of transmitter degrees) plus
+        O(listeners who hear anything) — independent of listener degree.
+
+        Accounting is identical to the scalar scan, including the
+        half-duplex rule that a node transmitting into a >= 2-transmitter
+        neighborhood pays its transmit slot only, never an additional
+        collision charge (it cannot listen, so it cannot waste a
+        listening slot).
+        """
+        import numpy as np
+
+        from .vectorized import graph_arrays
+
+        network = self._network
+        contexts = network.contexts
+        ledger = network.ledger
+        arrays = graph_arrays(network)
+        rank = arrays.rank
+        indptr, indices = arrays.indptr, arrays.indices
+        transmitter_ranks = np.fromiter(
+            (rank[node] for node in transmitters),
+            dtype=np.int64,
+            count=len(transmitters),
+        )
+        targets = np.concatenate(
+            [indices[indptr[i]:indptr[i + 1]] for i in transmitter_ranks]
+        )
+        if not targets.size:
+            return inboxes
+        counts = np.bincount(targets, minlength=arrays.n)
+        sender_of = np.bincount(
+            targets,
+            weights=np.repeat(
+                transmitter_ranks.astype(np.float64),
+                arrays.degrees[transmitter_ranks],
+            ),
+            minlength=arrays.n,
+        )
+        delivered = dropped = collisions = 0
+        nodes = arrays.nodes
+        for i in np.nonzero(counts)[0]:
+            node = nodes[i]
+            if node in transmitters or node not in awake:
+                continue  # half-duplex / asleep: hears nothing
+            if contexts[node]._halted:
+                continue
+            heard = int(counts[i])
+            if heard == 1:
+                sender = nodes[int(sender_of[i])]
+                inboxes[node] = [Message(sender, transmitters[sender])]
+                delivered += 1
+            else:
+                dropped += heard
+                collisions += 1
+                if self.collision_cost:
+                    ledger.charge(node, self.collision_cost)
+                if self.collision_detection:
+                    inboxes[node] = [COLLISION_MESSAGE]
+        network.messages_delivered += delivered
+        network.messages_dropped += dropped
+        network.collisions += collisions
+        return inboxes
+
 
 #: Named channel factories for CLI flags and task tuples. Each call returns
 #: a fresh instance, so one spec string can configure many networks.
@@ -595,6 +689,7 @@ CHANNELS: Dict[str, Callable[[], Channel]] = {
     "local": LocalChannel,
     "broadcast": BroadcastChannel,
     "broadcast-no-cd": lambda: BroadcastChannel(collision_detection=False),
+    "broadcast-scalar": lambda: BroadcastChannel(vectorized=False),
 }
 
 ChannelSpec = Union[str, Channel, Callable[[], Channel], None]

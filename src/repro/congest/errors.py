@@ -57,3 +57,12 @@ class SchedulingError(CongestError):
 
 class SimulationLimitError(CongestError):
     """The simulation exceeded its configured maximum number of rounds."""
+
+
+class VectorizationError(CongestError):
+    """The vectorized engine path was required but cannot engage.
+
+    Raised by ``Network.run(engine="vectorized")`` when no program
+    capability / compatible channel is available, so a forced vectorized
+    run never *silently* degrades to the cached round loop.
+    """

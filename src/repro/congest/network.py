@@ -32,11 +32,16 @@ rounds:
   count for time complexity and appear in the trace (as compact idle
   spans), but a batch of them costs O(1);
 * :meth:`Network.step` avoids per-round re-sorting of the awake set, builds
-  inboxes lazily, and skips all trace bookkeeping when tracing is off.
+  inboxes lazily, and skips all trace bookkeeping when tracing is off;
+* dense always-on stretches of programs that declare the vectorized-round
+  capability (``NodeProgram.vector_round``) execute whole-network numpy
+  rounds (see ``repro.congest.vectorized``) instead of per-node python.
 
 ``Network.run(legacy=True)`` (or the :func:`legacy_engine` switch) restores
-the naive one-``step``-per-round loop; the two paths are bit-identical in
-outputs, metrics, and ledger state (see ``tests/test_engine_equivalence.py``).
+the naive one-``step``-per-round loop; :func:`engine_mode` selects between
+``auto``/``fast``/``legacy``/``vectorized`` globally. All paths are
+bit-identical in outputs, metrics, and ledger state (see
+``tests/test_engine_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -48,34 +53,88 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 import networkx as nx
 import numpy as np
 
-from .channels import ChannelSpec, make_channel
-from .errors import SchedulingError, SimulationLimitError
+from .channels import ChannelSpec, CongestChannel, LocalChannel, make_channel
+from .errors import SchedulingError, SimulationLimitError, VectorizationError
 from .message import default_bit_budget
 from .metrics import EnergyLedger, RunMetrics
 from .program import NO_BROADCAST, Context, NodeProgram
 
+#: Engine paths selectable per run or globally (see :func:`engine_mode`):
+#:
+#: * ``"auto"`` (default) — the vectorized dense-round path when the
+#:   program declares the capability (and the channel supports it, and the
+#:   graph is big enough to amortize numpy overhead), else the cached fast
+#:   loop with idle fast-forward;
+#: * ``"fast"`` — the cached round loop, never vectorized;
+#: * ``"legacy"`` — the naive one-``step``-per-round seed loop;
+#: * ``"vectorized"`` — like auto, but *raises*
+#:   :class:`~repro.congest.errors.VectorizationError` instead of silently
+#:   falling back when the vectorized path cannot engage at all.
+ENGINE_MODES = ("auto", "fast", "legacy", "vectorized")
+
 # Module-level switch so whole algorithm drivers (which call ``network.run()``
-# internally) can be forced onto the naive per-round loop for equivalence
-# testing without threading a flag through every call site.
-_LEGACY_MODE = False
+# internally) can be forced onto one engine path for equivalence testing
+# without threading a flag through every call site.
+_ENGINE_MODE = "auto"
+
+#: Below this node count the auto mode skips vectorization: per-round numpy
+#: dispatch overhead beats python loops only once arrays have some width.
+#: Forced ``"vectorized"`` mode ignores the floor.
+VECTOR_AUTO_MIN_NODES = 64
+
+
+def _check_engine_mode(mode: str) -> str:
+    if mode not in ENGINE_MODES:
+        raise ValueError(
+            f"unknown engine mode {mode!r}; have {list(ENGINE_MODES)}"
+        )
+    return mode
+
+
+def set_engine_mode(mode: str) -> None:
+    """Globally select the engine path used when ``run()`` gets no flags."""
+    global _ENGINE_MODE
+    _ENGINE_MODE = _check_engine_mode(mode)
+
+
+def get_engine_mode() -> str:
+    return _ENGINE_MODE
+
+
+@contextmanager
+def engine_mode(mode: str):
+    """Context manager: run every ``Network.run`` inside on one engine path."""
+    global _ENGINE_MODE
+    previous = _ENGINE_MODE
+    _ENGINE_MODE = _check_engine_mode(mode)
+    try:
+        yield
+    finally:
+        _ENGINE_MODE = previous
+
+
+# What set_legacy_mode(False) should restore: the mode that was active
+# before the boolean toggle forced "legacy" (the toggle predates the 4-way
+# engine modes and must not stomp an enclosing "fast"/"vectorized" scope).
+_PRE_LEGACY_MODE = "auto"
 
 
 def set_legacy_mode(enabled: bool) -> None:
     """Globally force (or stop forcing) the naive per-round run loop."""
-    global _LEGACY_MODE
-    _LEGACY_MODE = bool(enabled)
+    global _PRE_LEGACY_MODE
+    if enabled:
+        if _ENGINE_MODE != "legacy":
+            _PRE_LEGACY_MODE = _ENGINE_MODE
+        set_engine_mode("legacy")
+    elif _ENGINE_MODE == "legacy":
+        set_engine_mode(_PRE_LEGACY_MODE)
 
 
 @contextmanager
 def legacy_engine():
     """Context manager: run every ``Network.run`` inside with ``legacy=True``."""
-    global _LEGACY_MODE
-    previous = _LEGACY_MODE
-    _LEGACY_MODE = True
-    try:
+    with engine_mode("legacy"):
         yield
-    finally:
-        _LEGACY_MODE = previous
 
 
 class Network:
@@ -163,6 +222,10 @@ class Network:
         self._started = False
         self.channel = make_channel(channel)
         self.channel.bind(self)
+        #: Rounds executed by the vectorized dense-round path (see
+        #: ``repro.congest.vectorized``); 0 when it never engaged.
+        self.vector_rounds = 0
+        self._vector_runner_cache: Optional[Tuple] = None
         if trace:
             from .trace import NetworkTrace
 
@@ -331,62 +394,176 @@ class Network:
             return True
         return self._next_wake_round() is not None
 
+    # ------------------------------------------------------------------
+    # Vectorized dense-round path
+    # ------------------------------------------------------------------
+    def _vector_runner(self, *, force: bool = False):
+        """The network's vectorized round runner, or None if ineligible.
+
+        Eligibility, checked once per network: every node runs the *same*
+        program class, that class declares the capability (overrides
+        ``NodeProgram.vector_round`` with a factory), and the channel is a
+        plain point-to-point model (CONGEST or LOCAL — radio delivery is
+        vectorized inside :class:`BroadcastChannel` instead).  In auto mode
+        small graphs additionally fall back to the cached loop
+        (:data:`VECTOR_AUTO_MIN_NODES`); ``force`` bypasses that floor.
+        """
+        if not force and self.graph.number_of_nodes() < VECTOR_AUTO_MIN_NODES:
+            # Below the auto floor the runner would never be used; skip
+            # even building it (the CSR + draw buffers are the overhead
+            # the floor exists to avoid).
+            return None
+        cache = self._vector_runner_cache
+        if cache is None:
+            runner = None
+            reason = "no program declares the vectorized-round capability"
+            programs = self.programs
+            first = next(iter(programs.values()))
+            cls = type(first)
+            factory = getattr(cls, "vector_round", None)
+            if callable(factory):
+                if type(self.channel) not in (CongestChannel, LocalChannel):
+                    reason = (
+                        f"channel {self.channel.name!r} has no vectorized "
+                        f"point-to-point delivery"
+                    )
+                elif any(type(p) is not cls for p in programs.values()):
+                    reason = "nodes run heterogeneous program classes"
+                else:
+                    # A factory may decline (return None) after inspecting
+                    # the actual instances, e.g. heterogeneous schedule
+                    # parameters that one flat column cannot represent.
+                    runner = factory(self)
+                    reason = (
+                        ""
+                        if runner is not None
+                        else f"{cls.__name__}.vector_round declined this "
+                             f"network (heterogeneous program parameters)"
+                    )
+            cache = (runner, reason)
+            self._vector_runner_cache = cache
+        runner, reason = cache
+        if runner is None and force:
+            raise VectorizationError(
+                f"vectorized engine requested but unavailable: {reason}"
+            )
+        return runner
+
+    def _resolve_engine(
+        self, legacy: Optional[bool], engine: Optional[str]
+    ) -> str:
+        if engine is not None:
+            return _check_engine_mode(engine)
+        if legacy is not None:
+            return "legacy" if legacy else "fast"
+        return _ENGINE_MODE
+
+    def _try_vector_step(self, runner) -> bool:
+        """Take one vectorized round if the dense regime is engaged.
+
+        Vector rounds model a pure always-on population: any scheduled
+        wake anywhere in the future falls back to scalar steps until the
+        calendar drains — in which case any loaded runner state is flushed
+        first, so the scalar step sees fresh program instances.  Shared by
+        :meth:`run` and :meth:`run_rounds` so the engagement gate and the
+        flush ordering cannot diverge between the two loops.
+        """
+        if (
+            runner is not None
+            and self._always_on
+            and not self._wake_calendar
+        ):
+            runner.step()
+            return True
+        if runner is not None and runner.loaded:
+            runner.flush()
+        return False
+
     def run(
-        self, max_rounds: int = 1_000_000, *, legacy: Optional[bool] = None
+        self,
+        max_rounds: int = 1_000_000,
+        *,
+        legacy: Optional[bool] = None,
+        engine: Optional[str] = None,
     ) -> RunMetrics:
         """Run until no node will ever wake again (or ``max_rounds``).
 
-        The default fast path jumps over idle stretches (rounds where no
-        node is awake) in O(1) per stretch; ``legacy=True`` (or the
-        module-level :func:`legacy_engine` switch) steps every round the
-        naive way. Both paths produce bit-identical outputs, metrics, and
-        ledger state.
+        Three engine paths, all bit-identical in outputs, metrics, and
+        ledger state (``tests/test_engine_equivalence.py``):
+
+        * the default fast path jumps over idle stretches (rounds where no
+          node is awake) in O(1) per stretch and runs a cached round loop;
+        * ``legacy=True`` (or the module-level :func:`legacy_engine`
+          switch) steps every round the naive way;
+        * dense always-on stretches of capability-declaring programs run
+          through the vectorized round path (``engine="vectorized"`` to
+          require it, ``engine="fast"`` to forbid it; default ``"auto"``).
         """
         if not self._started:
             self.start()
-        use_legacy = _LEGACY_MODE if legacy is None else legacy
-        while self.has_pending_work():
-            if self.round_index + 1 >= max_rounds:
-                raise SimulationLimitError(
-                    f"simulation exceeded {max_rounds} rounds"
-                )
-            if use_legacy or self._always_on:
+        mode = self._resolve_engine(legacy, engine)
+        use_legacy = mode == "legacy"
+        runner = None
+        if mode in ("auto", "vectorized"):
+            runner = self._vector_runner(force=mode == "vectorized")
+        try:
+            while self.has_pending_work():
+                if self.round_index + 1 >= max_rounds:
+                    raise SimulationLimitError(
+                        f"simulation exceeded {max_rounds} rounds"
+                    )
+                if self._try_vector_step(runner):
+                    continue
+                if use_legacy or self._always_on:
+                    self.step()
+                    continue
+                next_wake = self._next_wake_round()
+                if next_wake >= max_rounds:
+                    # The naive loop would idle up to the limit and raise;
+                    # advance time the same way before raising.
+                    self._skip_idle_to(max_rounds - 1)
+                    raise SimulationLimitError(
+                        f"simulation exceeded {max_rounds} rounds"
+                    )
+                self._skip_idle_to(next_wake - 1)
                 self.step()
-                continue
-            next_wake = self._next_wake_round()
-            if next_wake >= max_rounds:
-                # The naive loop would idle up to the limit and raise;
-                # advance time the same way before raising.
-                self._skip_idle_to(max_rounds - 1)
-                raise SimulationLimitError(
-                    f"simulation exceeded {max_rounds} rounds"
-                )
-            self._skip_idle_to(next_wake - 1)
-            self.step()
+        finally:
+            if runner is not None:
+                runner.flush()
         return self.metrics()
 
     def run_rounds(
-        self, rounds: int, *, legacy: Optional[bool] = None
+        self,
+        rounds: int,
+        *,
+        legacy: Optional[bool] = None,
+        engine: Optional[str] = None,
     ) -> RunMetrics:
         """Run exactly ``rounds`` rounds (idle rounds still advance time)."""
         if not self._started:
             self.start()
-        use_legacy = _LEGACY_MODE if legacy is None else legacy
-        if use_legacy:
-            for _ in range(rounds):
-                self.step()
-            return self.metrics()
+        mode = self._resolve_engine(legacy, engine)
+        use_legacy = mode == "legacy"
+        runner = None
+        if mode in ("auto", "vectorized"):
+            runner = self._vector_runner(force=mode == "vectorized")
         end = self.round_index + rounds
-        while self.round_index < end:
-            if self._always_on:
+        try:
+            while self.round_index < end:
+                if self._try_vector_step(runner):
+                    continue
+                if use_legacy or self._always_on:
+                    self.step()
+                    continue
+                next_wake = self._next_wake_round()
+                if next_wake is None or next_wake > end:
+                    self._skip_idle_to(end)
+                    break
+                self._skip_idle_to(next_wake - 1)
                 self.step()
-                continue
-            next_wake = self._next_wake_round()
-            if next_wake is None or next_wake > end:
-                self._skip_idle_to(end)
-                break
-            self._skip_idle_to(next_wake - 1)
-            self.step()
+        finally:
+            if runner is not None:
+                runner.flush()
         return self.metrics()
 
     # ------------------------------------------------------------------

@@ -181,6 +181,16 @@ class NodeProgram:
     nodes.
     """
 
+    #: Vectorized-round capability hook. A program class whose dense
+    #: always-on rounds can be executed whole-network at a time overrides
+    #: this with a factory ``(network) -> repro.congest.vectorized
+    #: .VectorRound`` (typically a classmethod). ``None`` means the engine
+    #: always uses the scalar per-node loops. Declaring the capability is a
+    #: promise of *bit-identical* semantics — outputs, metrics, ledger, and
+    #: per-node RNG draw order — which ``tests/test_engine_equivalence.py``
+    #: enforces for every registered algorithm.
+    vector_round = None
+
     def on_start(self, ctx: Context) -> None:
         """Free local precomputation before round 0 (no sending allowed)."""
 

@@ -1,0 +1,383 @@
+"""Vectorized dense-round engine path: numpy over flat node arrays.
+
+The engine's fast path (idle fast-forward + cached round loop) wins on
+*sparse* schedules, where almost nobody is awake.  Dense always-on phases —
+Luby-style duel rounds, regularized-Luby marking cascades, radio announce
+slots — are the opposite regime: every undecided node is awake every round
+and runs the *same* program step.  There, the per-node python dispatch
+(``on_round``/``on_receive`` calls, inbox dict lookups, per-message
+accounting) dominates wall-clock.
+
+This module provides the third engine path: node state is flattened into
+contiguous numpy columns (degree/mark/priority/state), the graph into a CSR
+adjacency (:class:`GraphArrays`), and one :class:`VectorRound` subclass per
+capable algorithm advances the *whole network* one synchronous round with
+array ops — bit-identically to the scalar paths, including the RNG draw
+order (each node still consumes its own per-node generator stream in sorted
+node order; block prefetching via :class:`DrawStreams` is exact because
+``Generator.random(k)`` produces the same stream as ``k`` scalar draws).
+
+A program class opts in by overriding the :attr:`NodeProgram.vector_round`
+hook with a factory ``(network) -> VectorRound``.  The network engages the
+vectorized path only when every node runs the same capable program class on
+a compatible point-to-point channel (CONGEST or LOCAL); radio rounds are
+vectorized inside :class:`~repro.congest.channels.BroadcastChannel` itself
+(the per-round bincount listener scan), which needs no program capability.
+
+State lives on the program instances between engagements: a runner
+:meth:`VectorRound.load`\\ s instance state into arrays lazily at its first
+round and :meth:`VectorRound.flush`\\ es arrays (and lazily-accumulated
+ledger charges) back whenever the engine leaves the vectorized regime — a
+scheduled wake appears, ``run_rounds`` truncates, or the run ends — so
+scalar and vectorized rounds interleave bit-identically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+#: Module-wide engagement statistics, for tests and the CI gate that the
+#: vectorized path never *silently* falls back to the cached loop for an
+#: algorithm that declares the capability.
+_VECTOR_STATS = {"rounds": 0, "networks": 0}
+
+
+def vector_stats() -> Dict[str, int]:
+    """Counters of vectorized engagement since the last reset."""
+    return dict(_VECTOR_STATS)
+
+
+def reset_vector_stats() -> None:
+    _VECTOR_STATS["rounds"] = 0
+    _VECTOR_STATS["networks"] = 0
+
+
+class GraphArrays:
+    """CSR adjacency over rank-indexed nodes.
+
+    Node labels stay arbitrary hashable objects (grid graphs use tuples);
+    all array math runs on each node's *rank* in sorted-label order, which
+    is order-isomorphic to label comparison — so lexicographic tie-break
+    keys like Luby's ``(degree, id)`` vectorize as ``degree * n + rank``.
+    """
+
+    __slots__ = ("nodes", "rank", "indptr", "indices", "degrees", "n",
+                 "_edge_source")
+
+    def __init__(self, graph):
+        nodes = sorted(graph.nodes)
+        rank = {node: i for i, node in enumerate(nodes)}
+        n = len(nodes)
+        m = graph.number_of_edges()
+        # Vectorized CSR build: one pass over the edge list into rank
+        # arrays, then a single lexsort groups by source with sorted
+        # targets inside each row.
+        head = np.empty(m, dtype=np.int64)
+        tail = np.empty(m, dtype=np.int64)
+        for k, (u, v) in enumerate(graph.edges):
+            head[k] = rank[u]
+            tail[k] = rank[v]
+        source = np.concatenate((head, tail))
+        target = np.concatenate((tail, head))
+        order = np.lexsort((target, source))
+        self.nodes = nodes
+        self.rank = rank
+        self.indices = target[order]
+        counts = np.bincount(source, minlength=n)
+        self.indptr = np.concatenate((
+            np.zeros(1, dtype=np.int64), np.cumsum(counts)
+        ))
+        self.degrees = counts.astype(np.int64)
+        self.n = n
+        self._edge_source = None  # built lazily (one np.repeat over m)
+
+    @property
+    def edge_source(self) -> np.ndarray:
+        """Per-edge source rank (the CSR row of each ``indices`` entry)."""
+        if self._edge_source is None:
+            self._edge_source = np.repeat(
+                np.arange(self.n, dtype=np.int64), self.degrees
+            )
+        return self._edge_source
+
+    # -- segment reductions over the CSR rows ---------------------------
+    def neighbor_count(self, mask: np.ndarray) -> np.ndarray:
+        """Per-node count of flagged neighbors: one bincount over the
+        edges *leaving flagged rows*.
+
+        Sparse masks (the common case: this round's markers, winners,
+        retirees) gather only the flagged rows' adjacency slices, so a
+        round with k flagged nodes costs O(sum of their degrees) instead
+        of O(m); dense masks take one boolean edge gather + bincount.
+        """
+        flagged = np.nonzero(mask)[0]
+        if not flagged.size:
+            return np.zeros(self.n, dtype=np.int64)
+        if flagged.size * 8 < self.n:
+            indptr, indices = self.indptr, self.indices
+            targets = np.concatenate(
+                [indices[indptr[i]:indptr[i + 1]] for i in flagged]
+            )
+        else:
+            targets = self.indices[mask[self.edge_source]]
+        return np.bincount(targets, minlength=self.n).astype(
+            np.int64, copy=False
+        )
+
+    def neighbor_max(self, values: np.ndarray, empty) -> np.ndarray:
+        """Per-node max of ``values`` over its neighbors (empty row ->
+        ``empty``).
+
+        ``np.maximum.reduceat`` is fed only the starts of non-empty rows:
+        because empty rows contribute no edge values, consecutive non-empty
+        starts delimit exactly one row each.
+        """
+        out = np.full(self.n, empty, dtype=values.dtype)
+        indptr = self.indptr
+        nonempty = indptr[:-1] < indptr[1:]
+        if nonempty.any():
+            out[nonempty] = np.maximum.reduceat(
+                values[self.indices], indptr[:-1][nonempty]
+            )
+        return out
+
+
+def graph_arrays(network) -> GraphArrays:
+    """The network's cached :class:`GraphArrays` (built on first use).
+
+    Shared between the vectorized round runners and the radio channel's
+    bincount listener scan, so one network builds the CSR at most once.
+    """
+    arrays = getattr(network, "_graph_arrays", None)
+    if arrays is None:
+        arrays = GraphArrays(network.graph)
+        network._graph_arrays = arrays
+    return arrays
+
+
+class DrawStreams:
+    """Block-prefetched per-node uniform draws, bit-identical to scalar.
+
+    ``Generator.random(k)`` consumes the underlying bit stream exactly like
+    ``k`` successive ``Generator.random()`` calls, so prefetching a block
+    per node and serving draws from it preserves each node's draw sequence
+    while replacing the per-draw python call with one fancy-indexed numpy
+    gather per round.
+
+    Prefetching advances the real generators *ahead* of what the node has
+    logically consumed, so :meth:`release` must run before any scalar code
+    touches ``ctx.rng`` again: it rewinds each generator by the number of
+    unconsumed prefetched draws (each float64 consumes exactly one PCG64
+    step, so ``bit_generator.advance(-remaining)`` lands the stream where
+    a purely scalar execution would have left it; bit generators without
+    ``advance`` fall back to a state snapshot taken at refill time).
+    """
+
+    __slots__ = ("_rngs", "_buffer", "_cursor", "_block", "_snapshots")
+
+    def __init__(self, rngs: List[np.random.Generator], block: int = 32):
+        self._rngs = rngs
+        self._block = block
+        n = len(rngs)
+        self._buffer = np.zeros((n, block), dtype=np.float64)
+        self._cursor = np.full(n, block, dtype=np.int64)
+        self._snapshots: List[Optional[dict]] = [None] * n
+
+    def take(self, idx: np.ndarray) -> np.ndarray:
+        """One uniform draw for each node rank in ``idx``, in given order."""
+        cursor = self._cursor
+        buffer = self._buffer
+        exhausted = idx[cursor[idx] >= self._block]
+        if exhausted.size:
+            rngs = self._rngs
+            snapshots = self._snapshots
+            for i in exhausted:
+                rng = rngs[i]
+                if not hasattr(rng.bit_generator, "advance"):
+                    snapshots[i] = rng.bit_generator.state
+                buffer[i] = rng.random(self._block)
+            cursor[exhausted] = 0
+        draws = buffer[idx, cursor[idx]]
+        cursor[idx] += 1
+        return draws
+
+    def release(self) -> None:
+        """Rewind every generator to its logically-consumed position."""
+        block = self._block
+        cursor = self._cursor
+        rngs = self._rngs
+        snapshots = self._snapshots
+        for i in np.nonzero(cursor < block)[0]:
+            rng = rngs[i]
+            bit_generator = rng.bit_generator
+            if snapshots[i] is None:
+                bit_generator.advance(-(block - int(cursor[i])))
+            else:
+                bit_generator.state = snapshots[i]
+                consumed = int(cursor[i])
+                if consumed:
+                    rng.random(consumed)
+                snapshots[i] = None
+        self._cursor[:] = block
+
+
+class VectorRound:
+    """Base class for one algorithm's vectorized whole-network round.
+
+    Subclasses implement :meth:`load` (program instances -> arrays),
+    :meth:`step_round` (one synchronous round over arrays, updating the
+    network's message counters identically to the scalar delivery), and
+    :meth:`flush_state` (arrays -> program instances, so scalar rounds can
+    resume bit-identically).
+
+    The base class owns the shared plumbing: lazily-accumulated energy
+    charges (flushed to the :class:`EnergyLedger` in node order), halt
+    propagation through the real :class:`Context` (so the engine's
+    wake bookkeeping stays consistent), trace records, and engagement
+    statistics.
+    """
+
+    def __init__(self, network):
+        from .channels import LocalChannel  # local import: cycle
+
+        self.network = network
+        self.arrays = graph_arrays(network)
+        #: LOCAL channels price payloads at 0 bits and skip bit accounting.
+        self.priced = not isinstance(network.channel, LocalChannel)
+        self.loaded = False
+        self._pending_energy = np.zeros(self.arrays.n, dtype=np.int64)
+        self.draws = DrawStreams(
+            [network.contexts[node].rng for node in self.arrays.nodes]
+        )
+        _VECTOR_STATS["networks"] += 1
+
+    # -- subclass API ---------------------------------------------------
+    def load(self) -> None:
+        raise NotImplementedError
+
+    def step_round(self) -> None:
+        raise NotImplementedError
+
+    def flush_state(self) -> None:
+        raise NotImplementedError
+
+    # -- engine protocol ------------------------------------------------
+    def step(self) -> None:
+        """Advance the network exactly one synchronous round."""
+        if not self.loaded:
+            self.load()
+            self.loaded = True
+        network = self.network
+        network.round_index += 1
+        network.vector_rounds += 1
+        _VECTOR_STATS["rounds"] += 1
+        self.step_round()
+
+    def flush(self) -> None:
+        """Write accumulated state back; safe to call when not loaded."""
+        if not self.loaded:
+            return
+        pending = self._pending_energy
+        charged = np.nonzero(pending)[0]
+        if charged.size:
+            ledger = self.network.ledger
+            nodes = self.arrays.nodes
+            for i in charged:
+                ledger.charge(nodes[i], int(pending[i]))
+            pending[:] = 0
+        self.draws.release()
+        self.flush_state()
+        self.loaded = False
+
+    # -- shared helpers -------------------------------------------------
+    def charge_awake(self, alive: np.ndarray) -> None:
+        """Bill one awake round per live node (flushed to the ledger later;
+        the ledger is only read after :meth:`flush`, so totals agree)."""
+        self._pending_energy += alive
+
+    def halt_ranks(self, ranks: np.ndarray) -> None:
+        """Halt nodes through their real contexts (event-sparse: each node
+        halts at most once per run, so the python loop is O(n) overall)."""
+        contexts = self.network.contexts
+        nodes = self.arrays.nodes
+        for i in ranks:
+            contexts[nodes[int(i)]].halt()
+
+    def output_of(self, rank: int) -> Dict:
+        return self.network.contexts[self.arrays.nodes[int(rank)]].output
+
+    def record_trace(self, alive: np.ndarray, sent: int, delivered: int,
+                     dropped: int) -> None:
+        trace = self.network.trace
+        if trace is not None:
+            nodes = self.arrays.nodes
+            awake = {nodes[i] for i in np.nonzero(alive)[0]}
+            trace.record(
+                self.network.round_index, awake, sent, delivered, dropped
+            )
+
+    def count_broadcasts(self, senders: np.ndarray, alive: np.ndarray,
+                         bits_per_copy: Optional[np.ndarray],
+                         alive_neighbors: Optional[np.ndarray] = None) -> None:
+        """Account a whole-neighborhood broadcast wave on the network.
+
+        ``senders``/``alive`` are boolean rank masks; every sender ships one
+        copy per *graph* neighbor, delivered iff the receiver is alive this
+        round (always-on semantics: awake == alive, and no one halts before
+        the delivery phase).  ``bits_per_copy`` is the per-sender payload
+        price (None on unpriced channels); matches the batched CONGEST
+        channel's accounting bit for bit.  ``alive_neighbors`` lets callers
+        that already computed this round's live-neighbor counts skip the
+        second CSR pass.
+        """
+        network = self.network
+        arrays = self.arrays
+        sender_idx = np.nonzero(senders & (arrays.degrees > 0))[0]
+        if not sender_idx.size:
+            self.record_trace(alive, 0, 0, 0)
+            return
+        sent = int(arrays.degrees[sender_idx].sum())
+        if alive_neighbors is None:
+            alive_neighbors = arrays.neighbor_count(alive)
+        delivered = int(alive_neighbors[sender_idx].sum())
+        dropped = sent - delivered
+        bits = None
+        if self.priced and bits_per_copy is not None:
+            bits = bits_per_copy[sender_idx]
+            peak = int(bits.max())
+            budget = network.bit_budget
+            if peak > budget:
+                # Raise *before* touching any counter, like the scalar
+                # engines (which reject the payload at send time, before
+                # the delivery phase counts anything).
+                from .errors import MessageTooLargeError
+
+                offender = int(sender_idx[bits > budget][0])
+                node = arrays.nodes[offender]
+                neighbor = arrays.nodes[
+                    int(arrays.indices[arrays.indptr[offender]])
+                ]
+                raise MessageTooLargeError(node, neighbor, peak, budget)
+        network.messages_sent += sent
+        network.messages_delivered += delivered
+        network.messages_dropped += dropped
+        if bits is not None:
+            network.total_message_bits += int(
+                (bits * arrays.degrees[sender_idx]).sum()
+            )
+            peak = int(bits.max())
+            if peak > network.max_message_bits:
+                network.max_message_bits = peak
+        self.record_trace(alive, sent, delivered, dropped)
+
+
+def int_bit_length(values: np.ndarray) -> np.ndarray:
+    """Vectorized ``int.bit_length`` for non-negative int64 values.
+
+    ``frexp`` exponents equal the bit length exactly for every value
+    representable in float64 without rounding (all degrees are far below
+    2**53); 0 maps to 0, as ``(0).bit_length()`` does.
+    """
+    return np.frexp(values.astype(np.float64))[1].astype(np.int64)

@@ -25,6 +25,7 @@ totals are directly comparable across a whole timeline.
 
 from __future__ import annotations
 
+import hashlib
 import inspect
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, Optional, Sequence, Set
@@ -39,12 +40,20 @@ INCREMENTAL = "incremental"
 FULL_RECOMPUTE = "full_recompute"
 STRATEGIES = (INCREMENTAL, FULL_RECOMPUTE)
 
-#: mixing constants for per-epoch seed derivation (deterministic, cheap)
-_SEED_MIX = 0x9E3779B1
-
-
 def _epoch_seed(seed: int, epoch: int) -> int:
-    return (seed * _SEED_MIX + epoch * 7919 + 1) % (2**31 - 1)
+    """Independent per-epoch sub-seed, explicit and platform-stable.
+
+    The (seed, epoch) pair is hashed through SHA-256 over a fixed text
+    encoding — no ``hash()`` (which is salted per process for str/bytes
+    and implementation-defined), no word-size-dependent arithmetic — so
+    the same master seed reproduces the same repair sequence on every
+    platform, python version, and process.  The digest is folded into the
+    non-negative int32 range every registered algorithm accepts.
+    """
+    digest = hashlib.sha256(
+        f"repro.dynamic.epoch:{seed}:{epoch}".encode("ascii")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") % (2**31 - 1)
 
 
 @dataclass

@@ -13,6 +13,7 @@ from .parallel import (
 from .runner import (
     ALGORITHMS,
     RADIO_SAFE_ALGORITHMS,
+    VECTOR_CAPABLE_ALGORITHMS,
     measure,
     measure_dynamic,
     measure_dynamic_many,
@@ -27,6 +28,7 @@ __all__ = [
     "ALGORITHMS",
     "DESCRIPTIONS",
     "RADIO_SAFE_ALGORITHMS",
+    "VECTOR_CAPABLE_ALGORITHMS",
     "REGISTRY",
     "SweepPoint",
     "default_jobs",

@@ -7,8 +7,11 @@ simulation. This module provides the one primitive the harness needs —
 with three guarantees:
 
 * **determinism** — workers receive fully self-describing task tuples
-  (family name, size, seed, ...) and regenerate their graphs locally, so a
-  parallel run is bit-identical to the serial one;
+  (family name, size, seed, channel, ...) and regenerate their graphs
+  locally; every cell derives all randomness from its own seed (no
+  process-shared ``random.Random``/global generator state anywhere in the
+  task path), so a parallel run is bit-identical to the serial one —
+  locked by ``tests/test_parallel_determinism.py``;
 * **ordered collection** — results come back in task order regardless of
   which worker finished first;
 * **graceful degradation** — ``n_jobs=1`` (the default) never touches a
@@ -88,15 +91,25 @@ def parallel_map(
     *,
     n_jobs: Optional[int] = None,
     chunksize: int = 1,
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: tuple = (),
 ) -> List[Result]:
     """Apply ``fn`` to every task, in order, optionally across processes.
 
     ``fn`` and the tasks must be picklable (``fn`` should be a module-level
-    function). With one job — or one task — no pool is created.
+    function). With one job — or one task — no pool is created (and any
+    ``initializer`` runs once in-process, matching worker semantics).
+    ``initializer`` exists for ambient per-process switches that are not
+    part of the task tuples — e.g. propagating a forced engine mode to
+    spawn-started workers, which inherit nothing from the parent.
     """
     task_list: Sequence[Task] = list(tasks)
     jobs = min(resolve_jobs(n_jobs), max(1, len(task_list)))
     if jobs == 1:
+        if initializer is not None:
+            initializer(*initargs)
         return [fn(task) for task in task_list]
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
+    with ProcessPoolExecutor(
+        max_workers=jobs, initializer=initializer, initargs=initargs
+    ) as pool:
         return list(pool.map(fn, task_list, chunksize=chunksize))

@@ -39,6 +39,15 @@ ALGORITHMS: Dict[str, Callable[..., MISResult]] = {
 #: there, so the CLI refuses the combination for anything else.
 RADIO_SAFE_ALGORITHMS = frozenset({"radio_decay"})
 
+#: Algorithms whose node programs declare the vectorized dense-round
+#: capability (``NodeProgram.vector_round``). For these the engine's
+#: ``"vectorized"``/default ``"auto"`` mode executes always-on rounds as
+#: whole-network numpy steps; ``tests/test_engine_equivalence.py`` both
+#: proves the path bit-identical to fast/legacy for *every* registered
+#: algorithm and fails if it silently never engages for an algorithm
+#: listed here.
+VECTOR_CAPABLE_ALGORITHMS = frozenset({"luby", "regularized_luby"})
+
 
 def run_algorithm(
     name: str, graph: nx.Graph, seed: int = 0, *, channel=None, **kwargs
@@ -114,6 +123,8 @@ def measure_many(
     tasks: Iterable[Tuple],
     *,
     n_jobs: Optional[int] = None,
+    initializer=None,
+    initargs: tuple = (),
 ) -> List[Dict[str, float]]:
     """Measure many (algorithm, family, n, seed[, channel]) cells,
     optionally in parallel.
@@ -122,8 +133,13 @@ def measure_many(
     results are identical (and identically ordered) for any ``n_jobs``.
     The optional fifth element is a channel name from
     :data:`repro.congest.CHANNELS` (``None`` = the algorithm's default).
+    ``initializer``/``initargs`` run once per worker (and once in-process
+    when serial) for ambient switches like a forced engine mode.
     """
-    return parallel_map(_measure_task, tasks, n_jobs=n_jobs)
+    return parallel_map(
+        _measure_task, tasks, n_jobs=n_jobs,
+        initializer=initializer, initargs=initargs,
+    )
 
 
 def run_dynamic_workload(

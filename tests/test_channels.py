@@ -319,3 +319,82 @@ class TestRadioSafety:
         graph = graphs.make_family("grid", 25, seed=0)
         run_algorithm("radio_decay", graph, channel="broadcast")
         run_algorithm("luby", graph, channel="local")
+
+
+class TestBroadcastCollisionAccounting:
+    """Regression pins for the radio energy/collision bookkeeping.
+
+    The dangerous edge case: a node that transmits *and* sits in a
+    >= 2-transmitter neighborhood must be billed its transmit slot only —
+    half-duplex means it never listens, so it can never be charged an
+    additional collision (double-billing). Pinned on a hand-built 3-node
+    graph for both the bincount listener scan (default) and the scalar
+    reference scan.
+    """
+
+    @pytest.mark.parametrize("channel", ["broadcast", "broadcast-scalar"])
+    def test_listener_between_two_transmitters(self, channel):
+        # Triangle: 1 and 2 transmit, 0 listens and suffers one collision.
+        graph = nx.complete_graph(3)
+        programs = {0: Scripted(), 1: Scripted({0: "a"}),
+                    2: Scripted({0: "b"})}
+        network = _run_rounds(graph, programs, 1, channel)
+        metrics = network.metrics()
+        assert metrics.collisions == 1
+        assert metrics.messages_sent == 2
+        assert metrics.messages_delivered == 0
+        assert metrics.messages_dropped == 2
+        # 0: awake + one wasted listening slot; 1, 2: transmit slot only
+        # (each also has a >= 2-transmitter neighborhood, but half-duplex
+        # transmitters cannot waste a listening slot).
+        assert network.ledger.snapshot() == {0: 2, 1: 1, 2: 1}
+        assert programs[1].heard[0] == []  # transmitters hear nothing
+        assert programs[2].heard[0] == []
+        assert programs[0].heard[0] == [(-1, COLLISION)]
+
+    @pytest.mark.parametrize("channel", ["broadcast", "broadcast-scalar"])
+    def test_all_transmit_no_collision_charges(self, channel):
+        # Every node transmits: nobody listens, so no collisions at all.
+        graph = nx.complete_graph(3)
+        programs = {v: Scripted({0: f"p{v}"}) for v in graph.nodes}
+        network = _run_rounds(graph, programs, 1, channel)
+        metrics = network.metrics()
+        assert metrics.collisions == 0
+        assert metrics.messages_sent == 3
+        assert metrics.messages_delivered == 0
+        assert metrics.messages_dropped == 0
+        assert network.ledger.snapshot() == {0: 1, 1: 1, 2: 1}
+
+    @pytest.mark.parametrize("channel", ["broadcast", "broadcast-scalar"])
+    def test_clean_reception_next_to_a_collision(self, channel):
+        # Path 0-1-2-3 with 1 and 3 transmitting: 0 hears 1 cleanly, 2
+        # collides; per-node billing stays exact.
+        graph = nx.path_graph(4)
+        programs = {0: Scripted(), 1: Scripted({0: "x"}),
+                    2: Scripted(), 3: Scripted({0: "y"})}
+        network = _run_rounds(graph, programs, 1, channel)
+        metrics = network.metrics()
+        assert metrics.collisions == 1
+        assert metrics.messages_sent == 2
+        assert metrics.messages_delivered == 1
+        assert metrics.messages_dropped == 2
+        assert network.ledger.snapshot() == {0: 1, 1: 1, 2: 2, 3: 1}
+        assert programs[0].heard[0] == [(1, "x")]
+        assert programs[2].heard[0] == [(-1, COLLISION)]
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_vectorized_scan_matches_scalar_reference(self, seed):
+        """End-to-end radio MIS: bincount scan == scalar scan, bit for
+        bit, on outputs, metrics, and per-node ledgers."""
+        graph = graphs.make_family("gnp_log_degree", 96, seed=seed)
+        runs = {}
+        for channel in ("broadcast", "broadcast-scalar"):
+            ledger = EnergyLedger(graph.nodes)
+            result = radio_decay_mis(
+                graph, seed=seed, ledger=ledger, channel=channel
+            )
+            runs[channel] = (result, ledger.snapshot())
+        vectorized, scalar = runs["broadcast"], runs["broadcast-scalar"]
+        assert vectorized[0].mis == scalar[0].mis
+        assert vectorized[0].metrics == scalar[0].metrics
+        assert vectorized[1] == scalar[1]

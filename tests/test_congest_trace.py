@@ -1,10 +1,16 @@
 """Tests for engine tracing and sleep diagrams."""
 
 import networkx as nx
+import pytest
 
 from repro import graphs
 from repro.baselines import LubyProgram
-from repro.congest import Network, NodeProgram
+from repro.congest import (
+    ChannelError,
+    CongestChannel,
+    Network,
+    NodeProgram,
+)
 
 
 class CountdownProgram(NodeProgram):
@@ -174,3 +180,80 @@ class TestIdleSpanRoundTrip:
             assert fast.wake_rounds_of(node) == legacy.wake_rounds_of(node)
         assert fast.message_totals() == legacy.message_totals()
         assert fast.sleep_diagram(range(4)) == legacy.sleep_diagram(range(4))
+
+
+class TestStaleInboxViewsAcrossFastForward:
+    """Fast-forwarded idle stretches must not resurrect old inbox views.
+
+    A lazy ``_InboxView`` is only valid within the round that minted it:
+    the backing slot buffers are recycled at ``finish_round``. The fast
+    path skips idle rounds entirely, so a view captured before an idle
+    stretch and first *read* at the post-stretch wake must raise — on the
+    fast-forwarding engine exactly as on the legacy per-round loop — and
+    a view must never survive the channel being re-bound to a new network.
+    """
+
+    class _Stasher(NodeProgram):
+        def __init__(self):
+            self.stashed = None
+            self.error = None
+
+        def on_round(self, ctx):
+            if ctx.round == 0 and ctx.neighbors:
+                ctx.send(ctx.neighbors[0], "ping")
+
+        def on_receive(self, ctx, messages):
+            if ctx.round == 0:
+                self.stashed = messages  # lazy view, not yet materialized
+                ctx.use_wake_schedule([40])  # force a long idle stretch
+            elif ctx.round == 40:
+                try:
+                    list(self.stashed)
+                except Exception as error:  # noqa: BLE001 - recorded
+                    self.error = error
+                ctx.halt()
+
+    @pytest.mark.parametrize("legacy", [False, True])
+    def test_view_from_before_idle_stretch_raises(self, legacy):
+        graph = nx.path_graph(2)
+        programs = {v: self._Stasher() for v in graph.nodes}
+        network = Network(graph, programs)
+        network.run(legacy=legacy)
+        assert network.metrics().rounds == 41
+        for node, program in programs.items():
+            assert program.stashed is not None, node
+            assert isinstance(program.error, ChannelError), (
+                f"node {node}: stale inbox view survived the idle "
+                f"fast-forward (legacy={legacy})"
+            )
+
+    def test_view_does_not_survive_channel_rebind(self):
+        """Multi-phase drivers reuse channel instances across networks; a
+        view minted against the first network must raise after rebind
+        instead of reading the second network's recycled buffers."""
+        graph = nx.path_graph(2)
+        channel = CongestChannel()
+        captured = {}
+
+        class CaptureOnce(NodeProgram):
+            def on_round(self, ctx):
+                if ctx.round == 0 and ctx.neighbors:
+                    ctx.send(ctx.neighbors[0], 1)
+
+            def on_receive(self, ctx, messages):
+                captured.setdefault(ctx.node, messages)
+                ctx.halt()
+
+        first = Network(
+            graph, {v: CaptureOnce() for v in graph.nodes}, channel=channel
+        )
+        first.run()
+        assert set(captured) == {0, 1}
+
+        # Same channel instance, fresh network: round serial keeps rising.
+        second = Network(
+            graph, {v: CaptureOnce() for v in graph.nodes}, channel=channel
+        )
+        stale = captured[0]
+        with pytest.raises(ChannelError, match="read after its round"):
+            list(stale)

@@ -205,3 +205,64 @@ class TestStrategiesAndLedger:
             algorithm_kwargs={"config": config},
         )
         assert_valid(maintainer)
+
+
+class TestEpochSeedDerivation:
+    """The per-epoch sub-seed must be explicit and platform-stable.
+
+    ``_epoch_seed`` hashes the (seed, epoch) pair through SHA-256 over a
+    fixed ascii encoding: no salted ``hash()``, no word-size-dependent
+    arithmetic, so a master seed reproduces the same repair sequence on
+    every platform/python/process. The pins below are the contract — if
+    they ever change, existing recorded timelines stop being replayable.
+    """
+
+    def test_pinned_values(self):
+        from repro.dynamic.maintainer import _epoch_seed
+
+        assert _epoch_seed(0, 0) == 1141317373
+        assert _epoch_seed(0, 1) == 637424418
+        assert _epoch_seed(7, 0) == 952853752
+        assert _epoch_seed(7, 12) == 814646644
+
+    def test_in_range_and_spread(self):
+        from repro.dynamic.maintainer import _epoch_seed
+
+        seen = {
+            _epoch_seed(seed, epoch)
+            for seed in range(8)
+            for epoch in range(32)
+        }
+        assert len(seen) == 8 * 32  # no collisions in a realistic window
+        assert all(0 <= value < 2**31 - 1 for value in seen)
+
+    def test_run_timeline_reproduces_identical_reports(self):
+        from repro.dynamic import make_workload, run_dynamic
+
+        outcomes = []
+        for _ in range(2):
+            graph, timeline = make_workload(
+                "link_flap", n=60, epochs=6, seed=13
+            )
+            result = run_dynamic(graph, timeline, "luby", seed=13)
+            outcomes.append(result)
+        first, second = outcomes
+        assert first.epochs == second.epochs  # full per-epoch rows
+        assert first.cumulative_energy == second.cumulative_energy
+        assert first.summary() == second.summary()
+
+    def test_maintainer_timeline_reports_identical(self):
+        graph = graphs.random_geometric(40, seed=5)
+        events = [
+            [GraphEvent(EDGE_REMOVE, 0, 1)],
+            [GraphEvent(NODE_REMOVE, 2)],
+            [GraphEvent(NODE_ADD, 99), GraphEvent(EDGE_ADD, 99, 3)],
+        ]
+
+        def reports():
+            maintainer = MISMaintainer(graph, "luby", seed=21)
+            return [maintainer.initial] + list(
+                maintainer.run_timeline(events)
+            )
+
+        assert reports() == reports()

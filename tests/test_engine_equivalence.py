@@ -20,15 +20,24 @@ import networkx as nx
 import pytest
 
 from repro import graphs
+from repro.baselines import LubyProgram
 from repro.congest import (
     EnergyLedger,
     Network,
     NodeProgram,
+    VectorizationError,
     channel_scope,
+    engine_mode,
     legacy_engine,
+    reset_vector_stats,
+    vector_stats,
 )
 from repro.congest.network import set_legacy_mode
-from repro.harness import ALGORITHMS, run_algorithm
+from repro.harness import (
+    ALGORITHMS,
+    VECTOR_CAPABLE_ALGORITHMS,
+    run_algorithm,
+)
 
 FAMILIES = ["gnp_log_degree", "geometric", "grid"]
 N = 64
@@ -103,6 +112,140 @@ def test_batched_channel_identical_to_per_message_reference(algorithm, family):
         assert ledger_snapshot == reference_ledger, key
 
 
+@pytest.mark.parametrize("family", FAMILIES)
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_three_way_engine_matrix(algorithm, family):
+    """fast == legacy == vectorized, bit for bit, for every algorithm.
+
+    The vectorized dense-round path must preserve outputs, metrics,
+    per-node ledgers, *and the RNG draw order* (per-node streams are
+    consumed in sorted node order exactly as the scalar loops do). For
+    algorithms without the capability the vectorized mode degrades to the
+    cached loop per-network (forcing it network-wide is covered below), so
+    the matrix stays total over the registry.
+    """
+    graph = graphs.make_family(family, N, seed=5)
+
+    results = {}
+    for mode in ("fast", "legacy", "auto"):
+        ledger = EnergyLedger(graph.nodes)
+        with engine_mode(mode):
+            result = run_algorithm(algorithm, graph, seed=5, ledger=ledger)
+        results[mode] = (result, ledger.snapshot())
+
+    reference, reference_ledger = results["legacy"]
+    for mode, (result, ledger_snapshot) in results.items():
+        assert result.mis == reference.mis, mode
+        assert _metrics_tuple(result.metrics) == \
+            _metrics_tuple(reference.metrics), mode
+        assert result.metrics == reference.metrics, mode
+        assert ledger_snapshot == reference_ledger, mode
+
+
+@pytest.mark.parametrize("algorithm", sorted(VECTOR_CAPABLE_ALGORITHMS))
+def test_vector_capable_algorithms_never_silently_fall_back(algorithm):
+    """A declared capability must actually engage (the CI gate).
+
+    If a refactor broke eligibility (channel type check, heterogeneous
+    programs, a renamed hook), the auto path would silently run the cached
+    loop and the perf claim would rot; this fails instead.
+    """
+    graph = graphs.make_family("gnp_log_degree", N, seed=5)
+    reset_vector_stats()
+    run_algorithm(algorithm, graph, seed=5)
+    stats = vector_stats()
+    assert stats["networks"] >= 1, f"{algorithm}: runner never built"
+    assert stats["rounds"] > 0, (
+        f"{algorithm} declares the vectorized capability but executed no "
+        f"vectorized rounds (silent fallback to the cached loop)"
+    )
+
+
+def test_forced_vectorized_raises_for_incapable_programs():
+    graph = graphs.make_family("gnp_log_degree", N, seed=5)
+    with engine_mode("vectorized"):
+        with pytest.raises(VectorizationError):
+            run_algorithm("ghaffari2016", graph, seed=5)
+
+
+def test_forced_vectorized_ignores_small_graph_floor():
+    """auto skips tiny graphs (numpy overhead), forcing does not."""
+    graph = graphs.make_family("gnp_log_degree", 16, seed=5)
+    reset_vector_stats()
+    run_algorithm("luby", graph, seed=5)  # auto: under the floor
+    assert vector_stats()["rounds"] == 0
+    reset_vector_stats()
+    with engine_mode("vectorized"):
+        forced = run_algorithm("luby", graph, seed=5)
+    assert vector_stats()["rounds"] > 0
+    with engine_mode("legacy"):
+        reference = run_algorithm("luby", graph, seed=5)
+    assert forced.mis == reference.mis
+    assert forced.metrics == reference.metrics
+
+
+def test_heterogeneous_program_parameters_decline_vectorization():
+    """One flat schedule column cannot represent per-node parameters; the
+    capability factory must decline so auto mode stays scalar (and stays
+    bit-identical) instead of silently applying node 0's schedule."""
+    from repro.baselines import RegularizedLubyProgram
+
+    graph = graphs.make_family("gnp_log_degree", N, seed=5)
+
+    def make(mixed):
+        return Network(
+            graph,
+            {
+                v: RegularizedLubyProgram(
+                    4, 6, delta=(3 + (i % 2) if mixed else 3)
+                )
+                for i, v in enumerate(sorted(graph.nodes))
+            },
+            seed=5,
+        )
+
+    reset_vector_stats()
+    network = make(mixed=True)
+    network.run()
+    assert network.vector_rounds == 0  # declined, ran scalar
+    with pytest.raises(VectorizationError, match="declined"):
+        make(mixed=True).run(engine="vectorized")
+    legacy = make(mixed=True)
+    legacy.run(engine="legacy")
+    assert network.outputs("in_mis") == legacy.outputs("in_mis")
+    assert network.metrics() == legacy.metrics()
+    # Homogeneous parameters still vectorize.
+    uniform = make(mixed=False)
+    uniform.run()
+    assert uniform.vector_rounds > 0
+
+
+@pytest.mark.parametrize("cut", [5, 6, 7, 8, 9, 10])
+def test_vectorized_truncation_resumes_scalar_bit_identically(cut):
+    """run_rounds may stop the vectorized path mid-cycle; the flush must
+    restore program-instance state (including inbox reconstruction and the
+    per-node RNG positions) so a scalar continuation matches a pure run."""
+    graph = graphs.make_family("gnp_log_degree", 96, seed=3)
+
+    def fresh():
+        return Network(
+            graph, {v: LubyProgram() for v in graph.nodes}, seed=7
+        )
+
+    reference = fresh()
+    reference.run(engine="legacy")
+
+    hybrid = fresh()
+    hybrid.run_rounds(cut, engine="vectorized")
+    assert hybrid.vector_rounds == cut
+    hybrid.run(engine="fast")
+    assert hybrid.outputs("in_mis") == reference.outputs("in_mis")
+    assert hybrid.outputs("decided_round") == \
+        reference.outputs("decided_round")
+    assert hybrid.metrics() == reference.metrics()
+    assert hybrid.ledger.snapshot() == reference.ledger.snapshot()
+
+
 class GappySleeper(NodeProgram):
     """Exercises idle gaps, on-the-fly re-scheduling, and mid-run halts."""
 
@@ -172,6 +315,21 @@ class TestScheduledWorkloads:
             net.run(legacy=legacy)
 
         self._assert_identical(runner)
+
+
+def test_set_legacy_mode_restores_enclosing_mode():
+    """The boolean toggle must not stomp a 4-way engine-mode scope."""
+    from repro.congest import get_engine_mode
+
+    assert get_engine_mode() == "auto"
+    with engine_mode("fast"):
+        set_legacy_mode(True)
+        assert get_engine_mode() == "legacy"
+        set_legacy_mode(False)
+        assert get_engine_mode() == "fast"  # not reset to "auto"
+        set_legacy_mode(False)  # idempotent outside legacy
+        assert get_engine_mode() == "fast"
+    assert get_engine_mode() == "auto"
 
 
 def test_module_level_switch():

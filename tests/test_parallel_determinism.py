@@ -1,0 +1,76 @@
+"""Parallel sweeps must be bit-identical to serial ones.
+
+Every (algorithm, family, n, seed[, channel]) cell — and every dynamic
+(workload, algorithm, strategy, n, epochs, seed[, rate]) cell — is a fully
+self-describing, deterministic task: workers regenerate graphs and derive
+all randomness from the task's own seed, never from process-shared
+``random.Random``/global generator state. This suite locks that audit in:
+``n_jobs=1`` and ``n_jobs>1`` (and any chunking) must agree exactly, in
+task order, including the harness-level aggregates.
+"""
+
+import pytest
+
+from repro.congest.vectorized import reset_vector_stats
+from repro.harness import (
+    measure_dynamic_many,
+    measure_many,
+    sweep,
+)
+from repro.harness.parallel import parallel_map
+
+pytestmark = pytest.mark.filterwarnings("ignore::UserWarning")
+
+
+def test_measure_many_parallel_matches_serial():
+    tasks = [
+        ("luby", "gnp_log_degree", 48, seed, channel)
+        for seed in range(3)
+        for channel in (None, "local")
+    ]
+    serial = measure_many(tasks, n_jobs=1)
+    parallel = measure_many(tasks, n_jobs=2)
+    assert parallel == serial  # exact float equality: same bits, same order
+
+
+def test_sweep_parallel_matches_serial():
+    kwargs = dict(family="gnp_log_degree", seeds=3, seed_base=11)
+    serial = sweep(["luby", "ghaffari2016"], [32, 48], n_jobs=1, **kwargs)
+    parallel = sweep(["luby", "ghaffari2016"], [32, 48], n_jobs=3, **kwargs)
+    assert len(serial) == len(parallel)
+    for ours, theirs in zip(serial, parallel):
+        assert ours.algorithm == theirs.algorithm
+        assert ours.n == theirs.n
+        assert ours.summaries == theirs.summaries
+
+
+def test_measure_dynamic_many_parallel_matches_serial():
+    tasks = [
+        ("link_flap", "luby", strategy, 40, 4, seed, 1.0)
+        for seed in range(2)
+        for strategy in ("incremental", "full_recompute")
+    ]
+    serial = measure_dynamic_many(tasks, n_jobs=1)
+    parallel = measure_dynamic_many(tasks, n_jobs=2)
+    assert parallel == serial
+
+
+def test_parallel_map_chunking_preserves_order_and_values():
+    tasks = list(range(17))
+    serial = parallel_map(_square, tasks, n_jobs=1)
+    chunked = parallel_map(_square, tasks, n_jobs=3, chunksize=4)
+    assert chunked == serial == [t * t for t in tasks]
+
+
+def test_vectorized_path_is_deterministic_across_jobs():
+    """The numpy dense-round path (engaged for luby at n >= the auto
+    floor) must not perturb cross-process determinism either."""
+    reset_vector_stats()
+    tasks = [("luby", "gnp_log_degree", 96, seed) for seed in range(3)]
+    serial = measure_many(tasks, n_jobs=1)
+    parallel = measure_many(tasks, n_jobs=3)
+    assert parallel == serial
+
+
+def _square(task):
+    return task * task
