@@ -5,6 +5,9 @@ Examples::
     python -m repro --algorithm algorithm1 --family geometric --n 1000
     python -m repro --algorithm luby --family gnp_sqrt_degree --n 512 -v
     python -m repro --algorithm radio_decay --channel broadcast --n 256
+    python -m repro --algorithm luby --seeds 20 --telemetry runs.jsonl
+    python -m repro --algorithm algorithm1 --n 1000 --profile
+    python -m repro report runs.jsonl
     python -m repro --list
     python -m repro dynamic --workload sensor_battery_decay -a algorithm1
     python -m repro dynamic --workload link_flap --strategy full_recompute
@@ -14,11 +17,37 @@ from __future__ import annotations
 
 import argparse
 import sys
+from time import perf_counter
 
 from .analysis import verify_mis
 from .congest import CHANNELS, ENGINE_MODES, set_engine_mode
 from .graphs import FAMILIES, make_family
 from .harness import ALGORITHMS, run_algorithm
+from .obs import configure_logging, get_logger, set_telemetry_path
+
+_log = get_logger("cli")
+
+
+def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
+    """The flags every subcommand shares: logging, telemetry, profiling."""
+    parser.add_argument(
+        "--verbose", "-v", action="count", default=0,
+        help="diagnostics on stderr: -v progress, -vv per-cell detail "
+             "(also enables extra result detail where noted)",
+    )
+    parser.add_argument(
+        "--quiet", "-q", action="store_true",
+        help="suppress all diagnostics below ERROR",
+    )
+    parser.add_argument(
+        "--telemetry", metavar="PATH", default=None,
+        help="append one JSONL record per completed run to PATH "
+             "(streamed as runs finish; aggregate with 'repro report')",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="attach a wall-clock profiler and print the section tree",
+    )
 
 
 def _static_main(argv) -> int:
@@ -66,14 +95,12 @@ def _static_main(argv) -> int:
         "--jobs", "-j", type=int, default=1, metavar="N",
         help="worker processes for multi-seed runs (-1 = all cores)",
     )
-    parser.add_argument(
-        "--verbose", "-v", action="store_true",
-        help="print the per-phase breakdown",
-    )
+    _add_observability_flags(parser)
     parser.add_argument(
         "--list", action="store_true", help="list algorithms and families"
     )
     args = parser.parse_args(argv)
+    configure_logging(verbose=args.verbose, quiet=args.quiet)
 
     if args.list:
         from .dynamic import WORKLOADS
@@ -95,15 +122,30 @@ def _static_main(argv) -> int:
             parser.error(str(error))
 
     set_engine_mode(args.engine)
+    set_telemetry_path(args.telemetry)
 
     if args.seeds > 1:
         return _static_multi_seed(args)
 
-    graph = make_family(args.family, args.n, seed=args.seed)
-    result = run_algorithm(
-        args.algorithm, graph, seed=args.seed, channel=args.channel
+    _log.info(
+        "running %s on %s n=%d seed=%d (engine=%s)",
+        args.algorithm, args.family, args.n, args.seed, args.engine,
     )
+    graph = make_family(args.family, args.n, seed=args.seed)
+    started = perf_counter()
+    result = run_algorithm(
+        args.algorithm, graph, seed=args.seed, channel=args.channel,
+        profile=args.profile,
+    )
+    elapsed = perf_counter() - started
+    _log.info("run finished in %.3fs", elapsed)
     report = verify_mis(graph, result.mis)
+    from .harness import emit_static_record
+
+    emit_static_record(
+        args.algorithm, graph, args.seed, args.channel, result, report,
+        elapsed, extra={"family": args.family},
+    )
 
     print(f"graph:        {args.family}, n={graph.number_of_nodes()}, "
           f"m={graph.number_of_edges()}")
@@ -124,6 +166,10 @@ def _static_main(argv) -> int:
             print(f"  {name:10s} rounds={phase.rounds:6d} "
                   f"max_energy={phase.max_energy:5d} "
                   f"avg_energy={phase.average_energy:7.2f}")
+    if args.profile:
+        from .obs import render_profile
+
+        print(render_profile(result.details["profile"]))
     return 0 if report.independent else 2
 
 
@@ -131,7 +177,14 @@ def _static_multi_seed(args) -> int:
     """Run one algorithm across several seeds (optionally in parallel)."""
     from .harness import measure_many
 
+    if args.profile:
+        _log.warning("--profile profiles a single run; ignored with --seeds")
     seeds = list(range(args.seed, args.seed + args.seeds))
+    _log.info(
+        "measuring %s on %s n=%d, %d seeds, jobs=%s%s",
+        args.algorithm, args.family, args.n, args.seeds, args.jobs,
+        f", streaming telemetry to {args.telemetry}" if args.telemetry else "",
+    )
     tasks = [
         (args.algorithm, args.family, args.n, seed, args.channel)
         for seed in seeds
@@ -204,14 +257,13 @@ def _dynamic_main(argv) -> int:
         "--jobs", "-j", type=int, default=1, metavar="N",
         help="worker processes for multi-seed runs (-1 = all cores)",
     )
-    parser.add_argument(
-        "--verbose", "-v", action="store_true",
-        help="print the per-epoch timeline table",
-    )
+    _add_observability_flags(parser)
     parser.add_argument(
         "--list", action="store_true", help="list workloads and strategies"
     )
     args = parser.parse_args(argv)
+    configure_logging(verbose=args.verbose, quiet=args.quiet)
+    set_telemetry_path(args.telemetry)
 
     if args.list:
         print("workloads: ", ", ".join(sorted(WORKLOADS)))
@@ -223,7 +275,16 @@ def _dynamic_main(argv) -> int:
     if args.seeds > 1:
         from .harness import measure_dynamic_many
 
+        if args.profile:
+            _log.warning(
+                "--profile profiles a single run; ignored with --seeds"
+            )
         seeds = list(range(args.seed, args.seed + args.seeds))
+        _log.info(
+            "measuring %s/%s n=%d epochs=%d, %d seeds, jobs=%s",
+            args.workload, args.algorithm, args.n, args.epochs, args.seeds,
+            args.jobs,
+        )
         tasks = [
             (args.workload, args.algorithm, args.strategy, args.n,
              args.epochs, seed, args.rate)
@@ -241,17 +302,37 @@ def _dynamic_main(argv) -> int:
         all_valid = all(summary["all_valid"] == 1.0 for summary in summaries)
         return 0 if all_valid else 2
 
+    _log.info(
+        "maintaining MIS across %s (n=%d, epochs=%d, strategy=%s)",
+        args.workload, args.n, args.epochs, args.strategy,
+    )
+    profiler = None
+    if args.profile:
+        from .obs import Profiler
+
+        profiler = Profiler()
+    from .obs import instrument_scope
+
     # Record (rather than raise on) invariant violations so a failed
     # w.h.p. run reports cleanly through the exit code below.
-    result = run_dynamic_workload(
-        args.workload,
-        args.algorithm,
-        strategy=args.strategy,
-        n=args.n,
-        epochs=args.epochs,
-        seed=args.seed,
-        rate=args.rate,
-        check_invariant=False,
+    started = perf_counter()
+    with instrument_scope(profiler):
+        result = run_dynamic_workload(
+            args.workload,
+            args.algorithm,
+            strategy=args.strategy,
+            n=args.n,
+            epochs=args.epochs,
+            seed=args.seed,
+            rate=args.rate,
+            check_invariant=False,
+        )
+    elapsed = perf_counter() - started
+    from .harness import emit_dynamic_record
+
+    emit_dynamic_record(
+        args.workload, args.algorithm, args.strategy, args.n, args.epochs,
+        args.seed, args.rate, result.summary(), elapsed,
     )
 
     print(f"workload:           {args.workload}, n={args.n}, "
@@ -275,13 +356,56 @@ def _dynamic_main(argv) -> int:
             print(f"  {row.epoch:>5} {row.events:>6} {row.nodes:>6} "
                   f"{row.mis_size:>6} {row.repair_region:>6} "
                   f"{row.rounds:>6} {row.energy:>7} {row.mis_churn:>6}")
+    if profiler is not None:
+        from .obs import render_profile
+
+        print(render_profile(profiler.as_dict()))
     return 0 if result.all_valid else 2
+
+
+def _report_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro report",
+        description=(
+            "Aggregate a telemetry JSONL stream (written via --telemetry) "
+            "into per-configuration summary tables. Works on finished and "
+            "in-flight streams alike: a partially-written final line is "
+            "counted and skipped, so this doubles as a live progress view."
+        ),
+    )
+    parser.add_argument("path", help="telemetry JSONL file to aggregate")
+    parser.add_argument(
+        "--max-keys", type=int, default=None, metavar="K",
+        help="show at most K metrics per group (default: all)",
+    )
+    parser.add_argument(
+        "--verbose", "-v", action="count", default=0,
+        help="diagnostics on stderr",
+    )
+    parser.add_argument(
+        "--quiet", "-q", action="store_true",
+        help="suppress all diagnostics below ERROR",
+    )
+    args = parser.parse_args(argv)
+    configure_logging(verbose=args.verbose, quiet=args.quiet)
+    # Imported here, not at module top: the report loader pulls in the
+    # analysis package, which plain runs never need.
+    from .obs import report
+
+    try:
+        print(report.report_file(args.path, max_keys=args.max_keys))
+    except OSError as error:
+        _log.error("cannot read %s: %s", args.path, error)
+        return 1
+    return 0
 
 
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "dynamic":
         return _dynamic_main(argv[1:])
+    if argv and argv[0] == "report":
+        return _report_main(argv[1:])
     return _static_main(argv)
 
 

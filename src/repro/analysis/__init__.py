@@ -17,7 +17,7 @@ from .complexity import (
     luby_time,
 )
 from .plotting import ascii_chart, sparkline
-from .stats import Summary, aggregate_trials, geometric_mean
+from .stats import RunningStat, Summary, aggregate_trials, geometric_mean
 from .verify import (
     MISReport,
     greedy_completion,
@@ -31,6 +31,7 @@ __all__ = [
     "MODELS",
     "FitResult",
     "MISReport",
+    "RunningStat",
     "Summary",
     "aggregate_trials",
     "algorithm1_energy",

@@ -66,6 +66,56 @@ def aggregate_trials(
     return {key: Summary.of(values) for key, values in collected.items()}
 
 
+class RunningStat:
+    """Incremental (streaming) aggregation of one measured quantity.
+
+    Welford's algorithm: one observation at a time, O(1) memory, no stored
+    sample list — the aggregation primitive for telemetry streams that are
+    still being written (``repro report`` folds a JSONL file through these
+    without materializing the trials). ``summary()`` produces the same
+    :class:`Summary` shape batch aggregation yields, except that the
+    median — which a one-pass stream cannot compute exactly — is reported
+    as the mean.
+    """
+
+    __slots__ = ("count", "mean", "_m2", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation (matches :meth:`Summary.of`)."""
+        return math.sqrt(self._m2 / self.count) if self.count else 0.0
+
+    def summary(self) -> Summary:
+        if not self.count:
+            raise ValueError("cannot summarize an empty stream")
+        return Summary(
+            mean=self.mean,
+            std=self.std,
+            minimum=self.minimum,
+            maximum=self.maximum,
+            median=self.mean,
+            count=self.count,
+        )
+
+
 def geometric_mean(values: Sequence[float]) -> float:
     """Geometric mean (values must be positive)."""
     if not values:

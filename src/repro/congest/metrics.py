@@ -14,7 +14,7 @@ metered Phase III choreography) charge awake rounds through an
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional
+from typing import Any, Dict, Iterable, Optional
 
 
 class EnergyLedger:
@@ -161,6 +161,53 @@ class RunMetrics:
             total_message_bits=total_message_bits,
             max_message_bits=max_message_bits,
             collisions=collisions,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Complete, JSON-friendly export; inverse of :meth:`from_dict`.
+
+        Every field round-trips — rounds, max/avg/total energy, the five
+        message counters, collisions, and the per-phase breakdown
+        (recursively) — so telemetry records and ``repro report`` never
+        have to re-derive a number the run already computed.
+        """
+        data: Dict[str, Any] = {
+            "rounds": self.rounds,
+            "max_energy": self.max_energy,
+            "average_energy": self.average_energy,
+            "total_energy": self.total_energy,
+            "messages_sent": self.messages_sent,
+            "messages_delivered": self.messages_delivered,
+            "messages_dropped": self.messages_dropped,
+            "total_message_bits": self.total_message_bits,
+            "max_message_bits": self.max_message_bits,
+            "collisions": self.collisions,
+        }
+        if self.phases:
+            data["phases"] = {
+                name: phase.to_dict() for name, phase in self.phases.items()
+            }
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunMetrics":
+        """Rebuild a :class:`RunMetrics` (with phases) from
+        :meth:`to_dict` output; ``RunMetrics.from_dict(m.to_dict()) == m``."""
+        return cls(
+            rounds=int(data["rounds"]),
+            max_energy=int(data["max_energy"]),
+            average_energy=float(data["average_energy"]),
+            total_energy=int(data["total_energy"]),
+            messages_sent=int(data.get("messages_sent", 0)),
+            messages_delivered=int(data.get("messages_delivered", 0)),
+            messages_dropped=int(data.get("messages_dropped", 0)),
+            total_message_bits=int(data.get("total_message_bits", 0)),
+            max_message_bits=int(data.get("max_message_bits", 0)),
+            collisions=int(data.get("collisions", 0)),
+            phases={
+                name: cls.from_dict(phase)
+                for name, phase in data.get("phases", {}).items()
+            },
         )
 
     def add_phase(self, name: str, metrics: "RunMetrics") -> None:

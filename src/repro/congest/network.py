@@ -53,6 +53,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 import networkx as nx
 import numpy as np
 
+from ..obs.instrument import NULL_INSTRUMENT, resolve_instrument
 from .channels import ChannelSpec, CongestChannel, LocalChannel, make_channel
 from .errors import SchedulingError, SimulationLimitError, VectorizationError
 from .message import default_bit_budget
@@ -161,6 +162,12 @@ class Network:
         :class:`~repro.congest.channels.Channel` instance, or a factory.
         Defaults to the innermost :func:`~repro.congest.channels
         .channel_scope`, falling back to batched CONGEST.
+    instrument:
+        Observer for run/round/phase events (see :mod:`repro.obs`).
+        Defaults to the innermost :func:`~repro.obs.instrument_scope`,
+        falling back to the shared null instrument. Whether the network is
+        observed is decided once here, so the disabled path costs the hot
+        loop only a couple of ``is not None`` checks per round.
     """
 
     def __init__(
@@ -174,6 +181,7 @@ class Network:
         size_bound: Optional[int] = None,
         trace: bool = False,
         channel: ChannelSpec = None,
+        instrument=None,
     ):
         if graph.number_of_nodes() == 0:
             raise ValueError("cannot simulate an empty graph")
@@ -222,6 +230,9 @@ class Network:
         self._started = False
         self.channel = make_channel(channel)
         self.channel.bind(self)
+        self.instrument = resolve_instrument(instrument)
+        self._observed = self.instrument is not NULL_INSTRUMENT
+        self._profiler = self.instrument.profiler if self._observed else None
         #: Rounds executed by the vectorized dense-round path (see
         #: ``repro.congest.vectorized``); 0 when it never engaged.
         self.vector_rounds = 0
@@ -301,6 +312,8 @@ class Network:
         if self._started:
             raise RuntimeError("network already started")
         self._started = True
+        if self._observed:
+            self.instrument.on_run_start(self)
         for node in sorted(self.graph.nodes):
             self.programs[node].on_start(self.contexts[node])
             ctx = self.contexts[node]
@@ -342,6 +355,11 @@ class Network:
             delivered_before = self.messages_delivered
             dropped_before = self.messages_dropped
 
+        prof = self._profiler
+        if prof is not None:
+            prof.begin("round")
+            prof.begin("compute")
+
         self.ledger.charge_many(ordered)
 
         # Phase 1: computation + sending.
@@ -354,9 +372,15 @@ class Network:
         # sleeping nodes, price bits, detect radio collisions, ...). Only
         # actual receivers get an inbox entry.
         channel = self.channel
+        if prof is not None:
+            prof.end()
+            prof.begin("deliver")
         inboxes = channel.deliver(ordered, awake)
 
         # Phase 3: receiving.
+        if prof is not None:
+            prof.end()
+            prof.begin("receive")
         for node in ordered:
             ctx = contexts[node]
             if not ctx._halted:
@@ -365,6 +389,9 @@ class Network:
                     ctx, inbox if inbox is not None else []
                 )
         channel.finish_round()
+        if prof is not None:
+            prof.end()
+            prof.end()
         if trace is not None:
             trace.record(
                 self.round_index,
@@ -373,6 +400,8 @@ class Network:
                 self.messages_delivered - delivered_before,
                 self.messages_dropped - dropped_before,
             )
+        if self._observed:
+            self.instrument.on_round(self, self.round_index, len(ordered))
         return awake
 
     def _skip_idle_to(self, target_round: int) -> None:
@@ -384,9 +413,14 @@ class Network:
         """
         if target_round <= self.round_index:
             return
+        prof = self._profiler
+        if prof is not None:
+            prof.begin("idle_ff")
         if self.trace is not None:
             self.trace.record_idle(self.round_index + 1, target_round)
         self.round_index = target_round
+        if prof is not None:
+            prof.end()
 
     def has_pending_work(self) -> bool:
         """True if some node may still wake up in a future round."""
@@ -530,7 +564,10 @@ class Network:
         finally:
             if runner is not None:
                 runner.flush()
-        return self.metrics()
+        metrics = self.metrics()
+        if self._observed:
+            self.instrument.on_run_end(self, metrics)
+        return metrics
 
     def run_rounds(
         self,
@@ -564,7 +601,10 @@ class Network:
         finally:
             if runner is not None:
                 runner.flush()
-        return self.metrics()
+        metrics = self.metrics()
+        if self._observed:
+            self.instrument.on_run_end(self, metrics)
+        return metrics
 
     # ------------------------------------------------------------------
     # Results

@@ -175,7 +175,8 @@ class DrawStreams:
     ``advance`` fall back to a state snapshot taken at refill time).
     """
 
-    __slots__ = ("_rngs", "_buffer", "_cursor", "_block", "_snapshots")
+    __slots__ = ("_rngs", "_buffer", "_cursor", "_block", "_snapshots",
+                 "profiler")
 
     def __init__(self, rngs: List[np.random.Generator], block: int = 32):
         self._rngs = rngs
@@ -184,6 +185,9 @@ class DrawStreams:
         self._buffer = np.zeros((n, block), dtype=np.float64)
         self._cursor = np.full(n, block, dtype=np.int64)
         self._snapshots: List[Optional[dict]] = [None] * n
+        #: Optional :class:`repro.obs.Profiler`; refills then appear as
+        #: ``rng_prefetch`` sections nested in the enclosing vector round.
+        self.profiler = None
 
     def take(self, idx: np.ndarray) -> np.ndarray:
         """One uniform draw for each node rank in ``idx``, in given order."""
@@ -191,6 +195,9 @@ class DrawStreams:
         buffer = self._buffer
         exhausted = idx[cursor[idx] >= self._block]
         if exhausted.size:
+            prof = self.profiler
+            if prof is not None:
+                prof.begin("rng_prefetch")
             rngs = self._rngs
             snapshots = self._snapshots
             for i in exhausted:
@@ -199,6 +206,8 @@ class DrawStreams:
                     snapshots[i] = rng.bit_generator.state
                 buffer[i] = rng.random(self._block)
             cursor[exhausted] = 0
+            if prof is not None:
+                prof.end()
         draws = buffer[idx, cursor[idx]]
         cursor[idx] += 1
         return draws
@@ -251,6 +260,13 @@ class VectorRound:
         self.draws = DrawStreams(
             [network.contexts[node].rng for node in self.arrays.nodes]
         )
+        # Observation plumbing, resolved once (mirrors Network.__init__):
+        # None when the network is unobserved, so every per-round check in
+        # the dense loop is a single ``is not None``.
+        self._instrument = network.instrument if network._observed else None
+        self._profiler = network._profiler
+        self.draws.profiler = network._profiler
+        self._last_alive = 0
         _VECTOR_STATS["networks"] += 1
 
     # -- subclass API ---------------------------------------------------
@@ -273,7 +289,16 @@ class VectorRound:
         network.round_index += 1
         network.vector_rounds += 1
         _VECTOR_STATS["rounds"] += 1
+        prof = self._profiler
+        if prof is not None:
+            prof.begin("vector_round")
         self.step_round()
+        if prof is not None:
+            prof.end()
+        if self._instrument is not None:
+            self._instrument.on_round(
+                network, network.round_index, self._last_alive
+            )
 
     def flush(self) -> None:
         """Write accumulated state back; safe to call when not loaded."""
@@ -296,6 +321,11 @@ class VectorRound:
         """Bill one awake round per live node (flushed to the ledger later;
         the ledger is only read after :meth:`flush`, so totals agree)."""
         self._pending_energy += alive
+        if self._instrument is not None:
+            # The awake count :meth:`step` reports; matches the scalar
+            # engines' ``len(awake)`` because alive == awake in the dense
+            # always-on regime.
+            self._last_alive = int(np.count_nonzero(alive))
 
     def halt_ranks(self, ranks: np.ndarray) -> None:
         """Halt nodes through their real contexts (event-sparse: each node

@@ -25,6 +25,7 @@ import networkx as nx
 
 from ..congest import EnergyLedger, channel_scope
 from ..congest.metrics import RunMetrics
+from ..obs import current_instrument, section_scope
 from ..result import MISResult
 from .config import DEFAULT_CONFIG, AlgorithmConfig
 from .phase1_alg1 import run_phase1_alg1
@@ -71,32 +72,43 @@ def algorithm1(
     if ledger is None:
         ledger = EnergyLedger(graph.nodes)
 
+    instrument = current_instrument()
+    prof = instrument.profiler
     with channel_scope(channel):
-        phase1 = run_phase1_alg1(
-            graph,
-            seed=_derive_seed(seed, 1),
-            config=config,
-            ledger=ledger,
-            size_bound=n,
-        )
+        instrument.on_phase_start("phase1")
+        with section_scope(prof, "phase1"):
+            phase1 = run_phase1_alg1(
+                graph,
+                seed=_derive_seed(seed, 1),
+                config=config,
+                ledger=ledger,
+                size_bound=n,
+            )
+        instrument.on_phase_end("phase1", phase1.metrics)
 
         residual = graph.subgraph(phase1.remaining).copy()
-        phase2 = run_phase2(
-            residual,
-            seed=_derive_seed(seed, 2),
-            config=config,
-            ledger=ledger,
-            size_bound=n,
-        )
+        instrument.on_phase_start("phase2")
+        with section_scope(prof, "phase2"):
+            phase2 = run_phase2(
+                residual,
+                seed=_derive_seed(seed, 2),
+                config=config,
+                ledger=ledger,
+                size_bound=n,
+            )
+        instrument.on_phase_end("phase2", phase2.metrics)
 
-        phase3 = run_phase3(
-            phase2.components,
-            seed=_derive_seed(seed, 3),
-            config=config,
-            ledger=ledger,
-            size_bound=n,
-            variant="alg1",
-        )
+        instrument.on_phase_start("phase3")
+        with section_scope(prof, "phase3"):
+            phase3 = run_phase3(
+                phase2.components,
+                seed=_derive_seed(seed, 3),
+                config=config,
+                ledger=ledger,
+                size_bound=n,
+                variant="alg1",
+            )
+        instrument.on_phase_end("phase3", phase3.metrics)
 
     mis = phase1.joined | phase2.joined | phase3.joined
     metrics = RunMetrics.combine_sequential(

@@ -17,6 +17,7 @@ import networkx as nx
 
 from ..congest import EnergyLedger, channel_scope
 from ..congest.metrics import RunMetrics
+from ..obs import current_instrument, section_scope
 from ..result import MISResult
 from .config import DEFAULT_CONFIG, AlgorithmConfig
 from .phase1_alg2 import run_phase1_alg2
@@ -45,32 +46,43 @@ def algorithm2(
     if ledger is None:
         ledger = EnergyLedger(graph.nodes)
 
+    instrument = current_instrument()
+    prof = instrument.profiler
     with channel_scope(channel):
-        phase1 = run_phase1_alg2(
-            graph,
-            seed=_derive_seed(seed, 101),
-            config=config,
-            ledger=ledger,
-            size_bound=n,
-        )
+        instrument.on_phase_start("phase1")
+        with section_scope(prof, "phase1"):
+            phase1 = run_phase1_alg2(
+                graph,
+                seed=_derive_seed(seed, 101),
+                config=config,
+                ledger=ledger,
+                size_bound=n,
+            )
+        instrument.on_phase_end("phase1", phase1.metrics)
 
         residual = graph.subgraph(phase1.remaining).copy()
-        phase2 = run_phase2(
-            residual,
-            seed=_derive_seed(seed, 102),
-            config=config,
-            ledger=ledger,
-            size_bound=n,
-        )
+        instrument.on_phase_start("phase2")
+        with section_scope(prof, "phase2"):
+            phase2 = run_phase2(
+                residual,
+                seed=_derive_seed(seed, 102),
+                config=config,
+                ledger=ledger,
+                size_bound=n,
+            )
+        instrument.on_phase_end("phase2", phase2.metrics)
 
-        phase3 = run_phase3(
-            phase2.components,
-            seed=_derive_seed(seed, 103),
-            config=config,
-            ledger=ledger,
-            size_bound=n,
-            variant="alg2",
-        )
+        instrument.on_phase_start("phase3")
+        with section_scope(prof, "phase3"):
+            phase3 = run_phase3(
+                phase2.components,
+                seed=_derive_seed(seed, 103),
+                config=config,
+                ledger=ledger,
+                size_bound=n,
+                variant="alg2",
+            )
+        instrument.on_phase_end("phase3", phase3.metrics)
 
     mis = phase1.joined | phase2.joined | phase3.joined
     metrics = RunMetrics.combine_sequential(

@@ -39,6 +39,7 @@ import networkx as nx
 from ..congest import EnergyLedger, Network, NodeProgram, channel_scope
 from ..congest.metrics import RunMetrics
 from ..graphs.properties import max_degree
+from ..obs import current_instrument, section_scope
 from ..result import MISResult
 from .config import DEFAULT_CONFIG, AlgorithmConfig, log2n, loglog2n
 from .phase1_alg1 import Phase1Alg1Program, run_phase1_alg1
@@ -374,24 +375,36 @@ def _compose_average_energy(
     if ledger is None:
         ledger = EnergyLedger(graph.nodes)
 
-    phase1 = phase1_runner(
+    instrument = current_instrument()
+    prof = instrument.profiler
+
+    def observed_phase(phase_name, runner):
+        # Phase names match the combine_sequential keys below, so the
+        # event stream, the profile tree, and metrics.phases line up.
+        instrument.on_phase_start(phase_name)
+        with section_scope(prof, phase_name):
+            result = runner()
+        instrument.on_phase_end(phase_name, result.metrics)
+        return result
+
+    phase1 = observed_phase("phase1", lambda: phase1_runner(
         graph, seed=_derive_seed(seed, 11), config=config, ledger=ledger,
         size_bound=n,
-    )
+    ))
     residual = graph.subgraph(phase1.remaining).copy()
 
-    lemma42 = run_lemma42(
+    lemma42 = observed_phase("lemma42", lambda: run_lemma42(
         residual, seed=_derive_seed(seed, 12), config=config, ledger=ledger,
         size_bound=n,
-    )
+    ))
     reduced = lemma42.details.get("reduced", set())
     failed = lemma42.details.get("failed", set())
 
-    sparsified = run_sparsify(
+    sparsified = observed_phase("sparsify", lambda: run_sparsify(
         residual.subgraph(reduced).copy(),
         seed=_derive_seed(seed, 13), config=config, ledger=ledger,
         size_bound=n,
-    )
+    ))
 
     # Failed nodes slept through the sparsifier but live in the same
     # residual graph: any of them adjacent to a sparsifier joiner is
@@ -405,16 +418,16 @@ def _compose_average_energy(
         if any(u in sparsified.joined for u in residual.neighbors(node))
     }
     leftover = (failed - dominated_failed) | sparsified.remaining
-    phase2 = run_phase2(
+    phase2 = observed_phase("phase2", lambda: run_phase2(
         residual.subgraph(leftover).copy(),
         seed=_derive_seed(seed, 14), config=config, ledger=ledger,
         size_bound=n,
-    )
-    phase3 = run_phase3(
+    ))
+    phase3 = observed_phase("phase3", lambda: run_phase3(
         phase2.components,
         seed=_derive_seed(seed, 15), config=config, ledger=ledger,
         size_bound=n, variant=variant,
-    )
+    ))
 
     mis = (
         phase1.joined | lemma42.joined | sparsified.joined

@@ -20,6 +20,7 @@ import networkx as nx
 
 from ..analysis import verify_mis
 from ..congest.metrics import EnergyLedger
+from ..obs import current_instrument
 from .events import GraphEvent
 from .maintainer import INCREMENTAL, MISMaintainer, RepairReport
 
@@ -207,3 +208,4 @@ def _record(
             verified=verify,
         )
     )
+    current_instrument().on_epoch(result.epochs[-1])

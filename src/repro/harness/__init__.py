@@ -14,6 +14,8 @@ from .runner import (
     ALGORITHMS,
     RADIO_SAFE_ALGORITHMS,
     VECTOR_CAPABLE_ALGORITHMS,
+    emit_dynamic_record,
+    emit_static_record,
     measure,
     measure_dynamic,
     measure_dynamic_many,
@@ -32,6 +34,8 @@ __all__ = [
     "REGISTRY",
     "SweepPoint",
     "default_jobs",
+    "emit_dynamic_record",
+    "emit_static_record",
     "format_table",
     "measure",
     "measure_dynamic",

@@ -5,6 +5,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from ..obs import configure_logging, set_telemetry_path
 from .experiments import DESCRIPTIONS, REGISTRY, run_all, run_experiment
 
 
@@ -25,8 +26,24 @@ def main(argv=None) -> int:
         "--jobs", "-j", type=int, default=None, metavar="N",
         help="worker processes for sweeps (-1 = all cores; default serial)",
     )
+    parser.add_argument(
+        "--verbose", "-v", action="count", default=0,
+        help="diagnostics on stderr: -v per-experiment progress, "
+             "-vv per-sweep detail",
+    )
+    parser.add_argument(
+        "--quiet", "-q", action="store_true",
+        help="suppress all diagnostics below ERROR",
+    )
+    parser.add_argument(
+        "--telemetry", metavar="PATH", default=None,
+        help="stream one JSONL record per measured run to PATH "
+             "(aggregate with 'python -m repro report')",
+    )
     parser.add_argument("--list", action="store_true", help="list experiments")
     args = parser.parse_args(argv)
+    configure_logging(verbose=args.verbose, quiet=args.quiet)
+    set_telemetry_path(args.telemetry)
 
     if args.list:
         for name in sorted(REGISTRY):

@@ -15,12 +15,14 @@ D1 (dynamic MIS energy vs churn rate, covering ``repro.dynamic``).
 from __future__ import annotations
 
 import math
+from time import perf_counter
 from typing import Callable, Dict, List, Tuple
 
 import networkx as nx
 import numpy as np
 
 from .. import graphs
+from ..obs import get_logger
 from ..analysis import (
     ascii_chart,
     best_model,
@@ -49,6 +51,8 @@ ExperimentFn = Callable[[bool], Tuple[str, dict]]
 
 REGISTRY: Dict[str, ExperimentFn] = {}
 DESCRIPTIONS: Dict[str, str] = {}
+
+_log = get_logger("harness.experiments")
 
 
 def experiment(name: str, description: str):
@@ -766,8 +770,12 @@ def run_experiment(
     """Run one experiment; ``n_jobs`` parallelizes its internal sweeps."""
     if name not in REGISTRY:
         raise KeyError(f"unknown experiment {name!r}; have {sorted(REGISTRY)}")
+    _log.info("experiment %s: %s", name, DESCRIPTIONS[name])
+    started = perf_counter()
     with use_jobs(n_jobs):
-        return REGISTRY[name](quick)
+        outcome = REGISTRY[name](quick)
+    _log.info("experiment %s finished in %.1fs", name, perf_counter() - started)
+    return outcome
 
 
 def run_all(quick: bool = False, n_jobs: int = None) -> str:

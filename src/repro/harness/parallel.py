@@ -35,6 +35,25 @@ Result = TypeVar("Result")
 _DEFAULT_JOBS = 1
 
 
+def _observability_worker_init(
+    telemetry_path: Optional[str],
+    inner: Optional[Callable[..., None]],
+    innerargs: tuple,
+) -> None:
+    """Worker bootstrap: re-install ambient observability state.
+
+    Spawn-started workers inherit no module globals, so the parent's
+    telemetry sink path must be re-installed before the caller's own
+    initializer (engine-mode propagation etc.) runs — this is what makes
+    streaming JSONL emission work transparently under process pools.
+    """
+    from ..obs.telemetry import set_telemetry_path
+
+    set_telemetry_path(telemetry_path)
+    if inner is not None:
+        inner(*innerargs)
+
+
 def set_default_jobs(n_jobs: Optional[int]) -> None:
     """Set the job count used when callers pass ``n_jobs=None``.
 
@@ -109,6 +128,13 @@ def parallel_map(
         if initializer is not None:
             initializer(*initargs)
         return [fn(task) for task in task_list]
+    from ..obs.telemetry import telemetry_path
+
+    sink = telemetry_path()
+    if sink is not None:
+        initializer, initargs = (
+            _observability_worker_init, (sink, initializer, initargs)
+        )
     with ProcessPoolExecutor(
         max_workers=jobs, initializer=initializer, initargs=initargs
     ) as pool:

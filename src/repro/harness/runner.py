@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 import networkx as nx
@@ -20,6 +21,15 @@ from ..core import (
     algorithm2_constant_average_energy,
 )
 from ..graphs import make_family
+from ..obs import (
+    CompositeInstrument,
+    Profiler,
+    channel_label,
+    emit,
+    instrument_scope,
+    make_record,
+    telemetry_path,
+)
 from ..result import MISResult
 from .parallel import parallel_map
 
@@ -50,23 +60,47 @@ VECTOR_CAPABLE_ALGORITHMS = frozenset({"luby", "regularized_luby"})
 
 
 def run_algorithm(
-    name: str, graph: nx.Graph, seed: int = 0, *, channel=None, **kwargs
+    name: str,
+    graph: nx.Graph,
+    seed: int = 0,
+    *,
+    channel=None,
+    instrument=None,
+    profile: bool = False,
+    **kwargs,
 ) -> MISResult:
     """Run one registered algorithm by name.
 
     ``channel`` selects the delivery model (see
     :data:`repro.congest.CHANNELS`): ``None`` keeps each algorithm's own
     default (CONGEST for the paper's algorithms and baselines, the radio
-    broadcast channel for ``radio_decay``). Extra keyword arguments
-    (``config=``, ``ledger=``, ``size_bound=``, ...) are forwarded to the
-    underlying algorithm untouched.
+    broadcast channel for ``radio_decay``). ``instrument`` observes every
+    network the run builds (see :mod:`repro.obs`); ``profile=True``
+    attaches a wall-clock :class:`~repro.obs.Profiler` (composed with any
+    ``instrument``) and stores its section tree in
+    ``result.details["profile"]``. Extra keyword arguments (``config=``,
+    ``ledger=``, ``size_bound=``, ...) are forwarded to the underlying
+    algorithm untouched.
     """
     if name not in ALGORITHMS:
         raise KeyError(f"unknown algorithm {name!r}; have {sorted(ALGORITHMS)}")
     if channel is not None:
         _check_radio_safety(name, channel)
         kwargs["channel"] = channel
-    return ALGORITHMS[name](graph, seed, **kwargs)
+    profiler = Profiler() if profile else None
+    if profiler is not None:
+        instrument = (
+            CompositeInstrument([instrument, profiler])
+            if instrument is not None
+            else profiler
+        )
+    if instrument is None:
+        return ALGORITHMS[name](graph, seed, **kwargs)
+    with instrument_scope(instrument):
+        result = ALGORITHMS[name](graph, seed, **kwargs)
+    if profiler is not None:
+        result.details["profile"] = profiler.as_dict()
+    return result
 
 
 def _check_radio_safety(name: str, channel) -> None:
@@ -90,6 +124,76 @@ def _check_radio_safety(name: str, channel) -> None:
         )
 
 
+def emit_static_record(
+    name: str,
+    graph: nx.Graph,
+    seed: int,
+    channel,
+    result: MISResult,
+    report,
+    elapsed_s: float,
+    *,
+    extra: Optional[Dict[str, Any]] = None,
+) -> bool:
+    """Append one ``kind="static"`` telemetry record for a finished run.
+
+    No-op (returns False) without an ambient sink, so callers emit
+    unconditionally. ``extra`` adds caller context (e.g. the graph
+    family). Shared by :func:`measure` and the CLI single-run path so the
+    record schema cannot drift between them.
+    """
+    if telemetry_path() is None:
+        return False
+    from ..congest.network import get_engine_mode
+
+    record = make_record(
+        "static",
+        algorithm=name,
+        n=graph.number_of_nodes(),
+        seed=seed,
+        channel=channel_label(channel),
+        engine=get_engine_mode(),
+        **(extra or {}),
+    )
+    record.update(
+        elapsed_s=elapsed_s,
+        mis_size=len(result.mis),
+        independent=report.independent,
+        maximal=report.maximal,
+        metrics=result.metrics.to_dict(),
+    )
+    return emit(record)
+
+
+def emit_dynamic_record(
+    workload: str,
+    algorithm: str,
+    strategy: str,
+    n: int,
+    epochs: int,
+    seed: int,
+    rate: float,
+    summary: Dict[str, float],
+    elapsed_s: float,
+) -> bool:
+    """Append one ``kind="dynamic"`` telemetry record (see
+    :func:`emit_static_record` for the contract)."""
+    if telemetry_path() is None:
+        return False
+    record = make_record(
+        "dynamic",
+        algorithm=algorithm,
+        workload=workload,
+        strategy=strategy,
+        n=n,
+        epochs=epochs,
+        seed=seed,
+        rate=rate,
+    )
+    record.update(elapsed_s=elapsed_s, summary=summary)
+    return emit(record)
+
+
 def measure(name: str, graph: nx.Graph, seed: int = 0, **kwargs) -> Dict[str, float]:
     """Run an algorithm and flatten the interesting numbers into one dict.
 
@@ -97,9 +201,23 @@ def measure(name: str, graph: nx.Graph, seed: int = 0, **kwargs) -> Dict[str, fl
     ``collisions``, ``independent``, ``maximal`` (booleans as 0/1 so trials
     aggregate). Keyword arguments (including ``channel=``) are forwarded to
     the algorithm as in :func:`run_algorithm`.
+
+    With an ambient telemetry sink (:func:`repro.obs.set_telemetry_path` /
+    CLI ``--telemetry``), each call also appends one JSONL record — the
+    full :meth:`~repro.congest.metrics.RunMetrics.to_dict` plus the
+    verification verdict and wall time — as the run completes.
+    ``telemetry_extra`` (a dict, e.g. ``{"family": ...}``) adds caller
+    context to that record only; the returned key set never changes.
     """
+    extra = kwargs.pop("telemetry_extra", None)
+    started = perf_counter()
     result = run_algorithm(name, graph, seed=seed, **kwargs)
+    elapsed = perf_counter() - started
     report = verify_mis(graph, result.mis)
+    emit_static_record(
+        name, graph, seed, kwargs.get("channel"), result, report, elapsed,
+        extra=extra,
+    )
     return {
         "rounds": float(result.rounds),
         "max_energy": float(result.max_energy),
@@ -116,7 +234,10 @@ def _measure_task(task: Tuple) -> Dict[str, float]:
     algorithm, family, n, seed, *rest = task
     channel = rest[0] if rest else None
     graph = make_family(family, n, seed=seed)
-    return measure(algorithm, graph, seed=seed, channel=channel)
+    return measure(
+        algorithm, graph, seed=seed, channel=channel,
+        telemetry_extra={"family": family},
+    )
 
 
 def measure_many(
@@ -181,7 +302,12 @@ def measure_dynamic(
     rate: float = 1.0,
     **kwargs,
 ) -> Dict[str, float]:
-    """Flatten a dynamic run into one dict (see ``DynamicRunResult.summary``)."""
+    """Flatten a dynamic run into one dict (see ``DynamicRunResult.summary``).
+
+    With an ambient telemetry sink, also appends one ``kind="dynamic"``
+    JSONL record embedding that summary as the run completes.
+    """
+    started = perf_counter()
     result = run_dynamic_workload(
         workload,
         algorithm,
@@ -192,7 +318,13 @@ def measure_dynamic(
         rate=rate,
         **kwargs,
     )
-    return result.summary()
+    elapsed = perf_counter() - started
+    summary = result.summary()
+    emit_dynamic_record(
+        workload, algorithm, strategy, n, epochs, seed, rate, summary,
+        elapsed,
+    )
+    return summary
 
 
 def _measure_dynamic_task(task: Tuple[Any, ...]) -> Dict[str, float]:

@@ -7,8 +7,11 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..analysis import Summary, aggregate_trials
 from ..graphs import make_family
+from ..obs import get_logger
 from .parallel import parallel_map
 from .runner import measure
+
+_log = get_logger("harness.sweep")
 
 
 @dataclass
@@ -35,7 +38,10 @@ def _sweep_task(task: Tuple) -> Dict[str, float]:
     algorithm, family, n, seed, *rest = task
     channel = rest[0] if rest else None
     graph = make_family(family, n, seed=seed)
-    return measure(algorithm, graph, seed=seed, channel=channel)
+    return measure(
+        algorithm, graph, seed=seed, channel=channel,
+        telemetry_extra={"family": family},
+    )
 
 
 def sweep(
@@ -65,6 +71,10 @@ def sweep(
         for n in sizes
         for trial in range(seeds)
     ]
+    _log.debug(
+        "sweep: %d cells (%s × %s × %d seeds, family=%s)",
+        len(tasks), list(algorithms), list(sizes), seeds, family,
+    )
     outcomes = parallel_map(_sweep_task, tasks, n_jobs=n_jobs)
     points: List[SweepPoint] = []
     cursor = 0

@@ -1,0 +1,74 @@
+"""The ``repro.*`` logging hierarchy behind ``--verbose``/``--quiet``.
+
+All diagnostic output in the package goes through loggers named
+``repro.<subsystem>`` (``repro.harness``, ``repro.dynamic``, ...), so one
+:func:`configure_logging` call from a CLI entry point controls everything,
+and library users keep the standard :mod:`logging` contract (silent by
+default — the root ``repro`` logger gets a :class:`logging.NullHandler`,
+never a stream handler, unless a CLI asks for one).
+
+CLI result tables deliberately stay on stdout via ``print`` — they are the
+program's *output*; logging carries *diagnostics* (progress, timings,
+choices made) on stderr, so ``repro ... > results.txt`` keeps working.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+ROOT_NAME = "repro"
+
+# Library default: never emit unless configured (standard practice).
+logging.getLogger(ROOT_NAME).addHandler(logging.NullHandler())
+
+_cli_handler: Optional[logging.Handler] = None
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """Logger ``repro.<name>`` (or the root ``repro`` logger for '')."""
+    return logging.getLogger(
+        f"{ROOT_NAME}.{name}" if name else ROOT_NAME
+    )
+
+
+def verbosity_level(verbose: int = 0, quiet: bool = False) -> int:
+    """Map CLI flags to a :mod:`logging` level.
+
+    ``--quiet`` wins over any ``-v``; default shows warnings only;
+    ``-v`` shows progress (INFO); ``-vv`` shows per-cell detail (DEBUG).
+    """
+    if quiet:
+        return logging.ERROR
+    if verbose >= 2:
+        return logging.DEBUG
+    if verbose >= 1:
+        return logging.INFO
+    return logging.WARNING
+
+
+def configure_logging(
+    verbose: int = 0,
+    quiet: bool = False,
+    stream=None,
+) -> logging.Logger:
+    """Install (or retune) the CLI stderr handler on the ``repro`` logger.
+
+    Idempotent: repeated calls replace the previous CLI handler instead of
+    stacking duplicates, so tests and nested ``main()`` invocations stay
+    clean. Returns the root ``repro`` logger.
+    """
+    global _cli_handler
+    root = logging.getLogger(ROOT_NAME)
+    if _cli_handler is not None:
+        root.removeHandler(_cli_handler)
+    handler = logging.StreamHandler(stream if stream is not None
+                                    else sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(levelname)s %(name)s: %(message)s")
+    )
+    root.addHandler(handler)
+    root.setLevel(verbosity_level(verbose, quiet))
+    _cli_handler = handler
+    return root

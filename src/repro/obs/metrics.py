@@ -1,0 +1,213 @@
+"""Metrics registry: counters, gauges, and histograms over run events.
+
+The registry is the quantitative side of observability — where the
+:class:`~repro.obs.profiler.Profiler` answers "where did the wall clock
+go", the registry answers "how much of everything happened": awake nodes
+per round, messages sent/delivered/dropped, radio collisions, energy-ledger
+charges, dynamic repair sizes.
+
+Three primitive types, all in-process and dependency-free:
+
+* :class:`Counter` — a monotonically increasing total;
+* :class:`Gauge` — a last-write-wins value;
+* :class:`Histogram` — a streaming distribution (count/total/min/max plus
+  power-of-two magnitude buckets, so awake-count and repair-size
+  distributions stay O(log range) in memory on million-round runs).
+
+:class:`MetricsInstrument` adapts the registry to the
+:class:`~repro.obs.instrument.Instrument` event stream, which is how the
+engine fills it without knowing the registry exists. Every value is
+exported by :meth:`MetricsRegistry.as_dict`, ready for the JSONL telemetry
+stream.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from .instrument import Instrument
+
+
+class Counter:
+    """Monotonic total; ``inc`` is the only mutator."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: cannot add {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins value (e.g. the run's final max energy)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Streaming distribution with power-of-two magnitude buckets.
+
+    Bucket ``i`` counts observations ``v`` with ``2**(i-1) <= v < 2**i``
+    (bucket 0 counts zeros), so the export is compact no matter how many
+    rounds were observed while still showing the shape (how many rounds
+    had ~1, ~100, ~10k awake nodes).
+    """
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum", "buckets")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+        self.buckets: Dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+        bucket = int(value).bit_length() if value >= 1 else 0
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
+        }
+
+
+class MetricsRegistry:
+    """Named registry of counters/gauges/histograms; idempotent getters."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            self._check_fresh(name)
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            self._check_fresh(name)
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            self._check_fresh(name)
+            metric = self._histograms[name] = Histogram(name)
+        return metric
+
+    def _check_fresh(self, name: str) -> None:
+        for kind, table in (
+            ("counter", self._counters),
+            ("gauge", self._gauges),
+            ("histogram", self._histograms),
+        ):
+            if name in table:
+                raise ValueError(
+                    f"metric {name!r} already registered as a {kind}"
+                )
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Flat, JSON-friendly export of every registered metric."""
+        data: Dict[str, Any] = {}
+        for name, counter in sorted(self._counters.items()):
+            data[name] = counter.value
+        for name, gauge in sorted(self._gauges.items()):
+            data[name] = gauge.value
+        for name, histogram in sorted(self._histograms.items()):
+            data[name] = histogram.as_dict()
+        return data
+
+
+class MetricsInstrument(Instrument):
+    """Fill a :class:`MetricsRegistry` from the engine's event stream.
+
+    Message/collision counters are accumulated as *deltas* between
+    ``on_run_start`` and ``on_run_end`` snapshots of the network's own
+    counters, so several sequential runs (multi-phase algorithms, dynamic
+    repairs) observed by one instrument add up instead of double-counting.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._baseline: Dict[int, List[int]] = {}
+
+    @staticmethod
+    def _network_counters(network) -> List[int]:
+        return [
+            network.messages_sent,
+            network.messages_delivered,
+            network.messages_dropped,
+            network.collisions,
+        ]
+
+    def on_run_start(self, network) -> None:
+        self.registry.counter("runs").inc()
+        self._baseline[id(network)] = self._network_counters(network)
+
+    def on_round(self, network, round_index: int, awake: int) -> None:
+        self.registry.counter("rounds").inc()
+        self.registry.counter("awake_node_rounds").inc(awake)
+        self.registry.histogram("awake_nodes").observe(awake)
+
+    def on_phase_start(self, name: str) -> None:
+        self.registry.counter(f"phase.{name}.runs").inc()
+
+    def on_phase_end(self, name: str, metrics) -> None:
+        self.registry.counter(f"phase.{name}.rounds").inc(metrics.rounds)
+        self.registry.gauge(f"phase.{name}.max_energy").set(
+            metrics.max_energy
+        )
+
+    def on_epoch(self, epoch) -> None:
+        self.registry.counter("epochs").inc()
+        self.registry.histogram("repair_region").observe(epoch.repair_region)
+        self.registry.histogram("mis_churn").observe(epoch.mis_churn)
+
+    def on_run_end(self, network, metrics) -> None:
+        before = self._baseline.pop(id(network), [0, 0, 0, 0])
+        after = self._network_counters(network)
+        registry = self.registry
+        registry.counter("messages_sent").inc(after[0] - before[0])
+        registry.counter("messages_delivered").inc(after[1] - before[1])
+        registry.counter("messages_dropped").inc(after[2] - before[2])
+        registry.counter("collisions").inc(after[3] - before[3])
+        # Ledger charges: the run's cumulative awake-round total (the
+        # ledger may be shared across phases, so gauges — not deltas —
+        # report the final accumulated account).
+        registry.gauge("ledger.total_energy").set(metrics.total_energy)
+        registry.gauge("ledger.max_energy").set(metrics.max_energy)
+        registry.gauge("ledger.average_energy").set(metrics.average_energy)

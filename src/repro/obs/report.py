@@ -1,0 +1,171 @@
+"""Aggregate and pretty-print a telemetry JSONL stream.
+
+``python -m repro report runs.jsonl`` turns a (finished *or in-flight*)
+stream written by the harness into per-configuration summary tables.
+
+Loading is deliberately forgiving: a sweep that is still running may leave
+a partially-written final line, and a killed run may leave a torn one
+mid-file — both are counted and skipped, never fatal, so the report is
+usable as a live progress view (``watch python -m repro report ...``).
+
+Aggregation is streaming: records are folded one at a time into
+:class:`~repro.analysis.stats.RunningStat` accumulators (grouped by the
+record's identifying string coordinates, with every numeric field —
+including nested ``metrics``/phase dicts, flattened to dotted keys —
+summarized), so memory stays O(groups × keys) however long the stream is.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..analysis.stats import RunningStat
+
+#: Fields that identify a run's configuration; equal values ⇒ same group.
+GROUP_FIELDS = (
+    "kind",
+    "algorithm",
+    "family",
+    "workload",
+    "strategy",
+    "n",
+    "channel",
+    "engine",
+    "rate",
+    "epochs",
+)
+
+#: Envelope/identity fields never aggregated as measurements.
+NON_METRIC_FIELDS = frozenset(GROUP_FIELDS) | {"schema", "pid", "seed"}
+
+GroupKey = Tuple[Tuple[str, Any], ...]
+
+
+def load_records(path: str) -> Tuple[List[Dict[str, Any]], int]:
+    """Read all complete JSON records from ``path``.
+
+    Returns ``(records, skipped)`` where ``skipped`` counts undecodable
+    lines (torn writes, a partial final line of an in-flight stream).
+    """
+    records: List[Dict[str, Any]] = []
+    skipped = 0
+    with open(path, "r", encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+            else:
+                skipped += 1
+    return records, skipped
+
+
+def flatten_numeric(
+    record: Dict[str, Any], prefix: str = ""
+) -> Dict[str, float]:
+    """Numeric leaves of a (possibly nested) record, dotted-key flattened.
+
+    Booleans count as 0/1 (so ``independent`` rates aggregate); strings
+    and ``None`` are identity/annotation, not measurements, and are
+    dropped. Histogram bucket dicts flatten like any other nesting.
+    """
+    flat: Dict[str, float] = {}
+    for key, value in record.items():
+        if not prefix and key in NON_METRIC_FIELDS:
+            continue
+        name = f"{prefix}{key}"
+        if isinstance(value, bool):
+            flat[name] = 1.0 if value else 0.0
+        elif isinstance(value, (int, float)):
+            flat[name] = float(value)
+        elif isinstance(value, dict):
+            flat.update(flatten_numeric(value, prefix=f"{name}."))
+    return flat
+
+
+def group_key(record: Dict[str, Any]) -> GroupKey:
+    """The identifying coordinates of one record, as a hashable key."""
+    return tuple(
+        (field, record[field])
+        for field in GROUP_FIELDS
+        if record.get(field) is not None
+    )
+
+
+def aggregate_records(
+    records: Iterable[Dict[str, Any]],
+) -> Dict[GroupKey, Dict[str, RunningStat]]:
+    """Fold records into per-group, per-key running statistics."""
+    groups: Dict[GroupKey, Dict[str, RunningStat]] = {}
+    for record in records:
+        stats = groups.setdefault(group_key(record), {})
+        for key, value in flatten_numeric(record).items():
+            stat = stats.get(key)
+            if stat is None:
+                stat = stats[key] = RunningStat()
+            stat.add(value)
+    return groups
+
+
+def format_report(
+    groups: Dict[GroupKey, Dict[str, RunningStat]],
+    *,
+    skipped: int = 0,
+    source: Optional[str] = None,
+    max_keys: Optional[int] = None,
+) -> str:
+    """Human-readable summary tables, one block per configuration group.
+
+    ``max_keys`` truncates very wide records (deep phase/histogram
+    nesting) to the first N flattened keys per group, noting the cut.
+    """
+    total = sum(
+        max((stat.count for stat in stats.values()), default=0)
+        for stats in groups.values()
+    )
+    header = "telemetry report"
+    if source:
+        header += f": {source}"
+    header += f" — {total} record(s), {len(groups)} group(s)"
+    if skipped:
+        header += f" ({skipped} partial/undecodable line(s) skipped)"
+    lines = [header]
+    for key in sorted(groups, key=repr):
+        stats = groups[key]
+        label = " ".join(f"{field}={value}" for field, value in key)
+        count = max((stat.count for stat in stats.values()), default=0)
+        lines.append("")
+        lines.append(f"[{label or 'ungrouped'}]  records={count}")
+        lines.append(
+            f"  {'metric':<34} {'mean':>12} {'std':>10} "
+            f"{'min':>12} {'max':>12}"
+        )
+        keys = sorted(stats)
+        shown = keys if max_keys is None else keys[:max_keys]
+        for name in shown:
+            stat = stats[name]
+            lines.append(
+                f"  {name:<34} {stat.mean:>12.3f} {stat.std:>10.3f} "
+                f"{stat.minimum:>12.3f} {stat.maximum:>12.3f}"
+            )
+        if len(shown) < len(keys):
+            lines.append(
+                f"  ... {len(keys) - len(shown)} more metric(s) truncated"
+            )
+    return "\n".join(lines)
+
+
+def report_file(path: str, *, max_keys: Optional[int] = None) -> str:
+    """Load → aggregate → format, the whole ``repro report`` pipeline."""
+    records, skipped = load_records(path)
+    groups = aggregate_records(records)
+    return format_report(
+        groups, skipped=skipped, source=path, max_keys=max_keys
+    )

@@ -1,0 +1,120 @@
+"""Streaming JSONL telemetry sink for harness runs.
+
+One run (one seed of one config) produces one self-describing JSON object
+on one line, appended to the sink file *as the run completes* — not
+collected and dumped at the end. A sweep over thousands of seeds therefore
+behaves like a job whose output can be tailed (``tail -f runs.jsonl``),
+checkpointed, and aggregated mid-flight (``python -m repro report
+runs.jsonl`` tolerates a partially-written final line).
+
+Process-pool safety
+-------------------
+
+Harness sweeps fan out over :func:`repro.harness.parallel.parallel_map`
+workers. Each emission opens the file in append mode, writes one line,
+flushes, and closes; on POSIX, ``O_APPEND`` writes of a line well under
+the pipe-buffer size are atomic, so concurrent workers interleave whole
+records, never bytes. The active sink path is ambient module state
+(:func:`set_telemetry_path` / :func:`telemetry_scope`); ``parallel_map``
+re-installs it inside every spawned worker, which inherits nothing.
+
+Record schema (``"schema": 1``)
+-------------------------------
+
+Common fields: ``kind`` (``"static"`` | ``"dynamic"``), ``schema``,
+``pid``, ``elapsed_s``, plus the identifying coordinates of the run
+(``algorithm``, ``family``, ``n``, ``seed``, ``channel`` for static runs;
+``workload``, ``strategy``, ``epochs``, ``rate`` for dynamic ones).
+Static records embed the full ``RunMetrics.to_dict()`` under ``metrics``
+(including per-phase breakdowns) and the verification verdict; dynamic
+records embed the ``DynamicRunResult.summary()`` numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional
+
+#: Version tag stamped into every record so future schema changes stay
+#: distinguishable in long-lived archives.
+SCHEMA_VERSION = 1
+
+_SINK_PATH: Optional[str] = None
+
+
+def set_telemetry_path(path: Optional[str]) -> None:
+    """Install (or, with ``None``, remove) the ambient JSONL sink path."""
+    global _SINK_PATH
+    _SINK_PATH = os.fspath(path) if path is not None else None
+
+
+def telemetry_path() -> Optional[str]:
+    """The active sink path, or ``None`` when telemetry is disabled."""
+    return _SINK_PATH
+
+
+@contextmanager
+def telemetry_scope(path: Optional[str]):
+    """Temporarily install a sink path (``None`` is a no-op passthrough)."""
+    if path is None:
+        yield
+        return
+    global _SINK_PATH
+    previous = _SINK_PATH
+    _SINK_PATH = os.fspath(path)
+    try:
+        yield
+    finally:
+        _SINK_PATH = previous
+
+
+def emit(record: Dict[str, Any], path: Optional[str] = None) -> bool:
+    """Append one record to the sink; returns whether anything was written.
+
+    ``path=None`` uses the ambient sink; with no sink configured the call
+    is a cheap no-op, so harness code can emit unconditionally. Values
+    that are not JSON-serializable are stringified rather than dropped —
+    a telemetry line must never kill the run that produced it.
+    """
+    target = path if path is not None else _SINK_PATH
+    if target is None:
+        return False
+    line = json.dumps(record, default=str, separators=(",", ":"))
+    with open(target, "a", encoding="utf-8") as sink:
+        sink.write(line + "\n")
+        sink.flush()
+    return True
+
+
+def make_record(kind: str, **fields: Any) -> Dict[str, Any]:
+    """A record skeleton with the self-describing envelope fields."""
+    record: Dict[str, Any] = {
+        "schema": SCHEMA_VERSION,
+        "kind": kind,
+        "pid": os.getpid(),
+    }
+    record.update(fields)
+    return record
+
+
+def channel_label(channel: Any) -> Optional[str]:
+    """Normalize a channel spec (name, instance, factory) for a record."""
+    if channel is None:
+        return None
+    if isinstance(channel, str):
+        return channel
+    name = getattr(channel, "name", None)
+    if isinstance(name, str):
+        return name
+    return type(channel).__name__
+
+
+def read_records(path: str) -> List[Dict[str, Any]]:
+    """Read every complete record from a JSONL stream (see also
+    :func:`repro.obs.report.load_records`, which reports skipped lines)."""
+    from .report import load_records  # deferred: report pulls in analysis
+
+    records, _ = load_records(path)
+    return records

@@ -47,6 +47,27 @@ class MISResult:
         """Node-averaged energy (Section 4's measure)."""
         return self.metrics.average_energy
 
+    def to_dict(self, *, include_mis: bool = False) -> Dict[str, Any]:
+        """JSON-friendly export of the full result.
+
+        ``metrics`` round-trips through :meth:`RunMetrics.to_dict`
+        (including per-phase breakdowns). ``details`` is passed through
+        as-is; keeping its leaves JSON-serializable is the producer's
+        concern (the profile tree the engine stores there already is).
+        The raw node set is omitted unless ``include_mis`` is set — it can
+        be huge, and its size is always present.
+        """
+        data: Dict[str, Any] = {
+            "algorithm": self.algorithm,
+            "mis_size": len(self.mis),
+            "metrics": self.metrics.to_dict(),
+        }
+        if self.details:
+            data["details"] = self.details
+        if include_mis:
+            data["mis"] = sorted(self.mis)
+        return data
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"MISResult({self.algorithm}: |MIS|={len(self.mis)}, "

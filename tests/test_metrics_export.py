@@ -1,0 +1,115 @@
+"""Round-trip tests for the RunMetrics / MISResult export (to_dict)."""
+
+import json
+
+import networkx as nx
+import pytest
+
+from repro.congest.metrics import RunMetrics
+from repro.harness import run_algorithm
+
+
+def _sample_metrics():
+    return RunMetrics(
+        rounds=12,
+        max_energy=5,
+        average_energy=2.5,
+        total_energy=20,
+        messages_sent=31,
+        messages_delivered=29,
+        messages_dropped=2,
+        total_message_bits=640,
+        max_message_bits=64,
+        collisions=3,
+    )
+
+
+class TestRunMetricsRoundTrip:
+    def test_flat_round_trip(self):
+        metrics = _sample_metrics()
+        assert RunMetrics.from_dict(metrics.to_dict()) == metrics
+
+    def test_phases_round_trip_recursively(self):
+        inner = _sample_metrics()
+        outer = RunMetrics(
+            rounds=24, max_energy=9, average_energy=4.0, total_energy=32
+        )
+        outer.add_phase("phase1", inner)
+        outer.add_phase(
+            "phase2",
+            RunMetrics(
+                rounds=12, max_energy=4, average_energy=1.5, total_energy=12
+            ),
+        )
+        rebuilt = RunMetrics.from_dict(outer.to_dict())
+        assert rebuilt == outer
+        assert rebuilt.phases["phase1"] == inner
+
+    def test_to_dict_is_json_serializable(self):
+        outer = _sample_metrics()
+        outer.add_phase("phase1", _sample_metrics())
+        data = json.loads(json.dumps(outer.to_dict()))
+        assert RunMetrics.from_dict(data) == outer
+
+    def test_to_dict_exports_every_counter(self):
+        data = _sample_metrics().to_dict()
+        assert data == {
+            "rounds": 12,
+            "max_energy": 5,
+            "average_energy": 2.5,
+            "total_energy": 20,
+            "messages_sent": 31,
+            "messages_delivered": 29,
+            "messages_dropped": 2,
+            "total_message_bits": 640,
+            "max_message_bits": 64,
+            "collisions": 3,
+        }
+
+    def test_from_dict_defaults_missing_message_fields(self):
+        """Old/minimal records (e.g. hand-written fixtures) still load."""
+        metrics = RunMetrics.from_dict(
+            {
+                "rounds": 3,
+                "max_energy": 1,
+                "average_energy": 0.5,
+                "total_energy": 2,
+            }
+        )
+        assert metrics.messages_sent == 0
+        assert metrics.collisions == 0
+        assert metrics.phases == {}
+
+    def test_phases_omitted_when_empty(self):
+        assert "phases" not in _sample_metrics().to_dict()
+
+
+class TestMISResultToDict:
+    @pytest.fixture(scope="class")
+    def result(self):
+        graph = nx.gnp_random_graph(40, 0.15, seed=11)
+        return run_algorithm("algorithm1", graph, seed=2)
+
+    def test_basic_shape(self, result):
+        data = result.to_dict()
+        assert data["algorithm"] == result.algorithm
+        assert data["mis_size"] == len(result.mis)
+        assert "mis" not in data
+        rebuilt = RunMetrics.from_dict(data["metrics"])
+        assert rebuilt == result.metrics
+        assert set(rebuilt.phases) == {"phase1", "phase2", "phase3"}
+
+    def test_include_mis(self, result):
+        data = result.to_dict(include_mis=True)
+        assert data["mis"] == sorted(result.mis)
+
+    def test_details_passthrough(self, result):
+        assert result.details  # algorithm1 records phase details
+        assert result.to_dict()["details"] is result.details
+
+    def test_json_serializable_with_profile(self):
+        graph = nx.gnp_random_graph(40, 0.15, seed=12)
+        result = run_algorithm("luby", graph, seed=1, profile=True)
+        text = json.dumps(result.to_dict(include_mis=True), default=str)
+        data = json.loads(text)
+        assert data["details"]["profile"]["wall_s"] > 0

@@ -1,0 +1,194 @@
+"""Tests for the Instrument event interface and its engine threading."""
+
+import networkx as nx
+import pytest
+
+from repro import graphs
+from repro.baselines import LubyProgram
+from repro.congest import Network, engine_mode
+from repro.harness import run_algorithm
+from repro.obs import (
+    NULL_INSTRUMENT,
+    CompositeInstrument,
+    Instrument,
+    NullInstrument,
+    RecordingInstrument,
+    current_instrument,
+    instrument_scope,
+    resolve_instrument,
+)
+
+
+class TestResolution:
+    def test_default_is_null(self):
+        assert current_instrument() is NULL_INSTRUMENT
+        assert resolve_instrument(None) is NULL_INSTRUMENT
+
+    def test_scope_stack_nests_and_restores(self):
+        outer, inner = RecordingInstrument(), RecordingInstrument()
+        with instrument_scope(outer):
+            assert current_instrument() is outer
+            with instrument_scope(inner):
+                assert current_instrument() is inner
+            assert current_instrument() is outer
+        assert current_instrument() is NULL_INSTRUMENT
+
+    def test_none_scope_is_passthrough(self):
+        outer = RecordingInstrument()
+        with instrument_scope(outer):
+            with instrument_scope(None):
+                assert current_instrument() is outer
+
+    def test_explicit_instance_wins_over_scope(self):
+        scoped, explicit = RecordingInstrument(), RecordingInstrument()
+        with instrument_scope(scoped):
+            assert resolve_instrument(explicit) is explicit
+
+    def test_rejects_non_instruments(self):
+        with pytest.raises(TypeError):
+            resolve_instrument("profiler")
+
+    def test_network_caches_observed_flag(self):
+        graph = graphs.path(3)
+        plain = Network(graph, {v: LubyProgram() for v in graph.nodes})
+        assert plain.instrument is NULL_INSTRUMENT
+        assert not plain._observed
+
+        rec = RecordingInstrument()
+        observed = Network(
+            graph, {v: LubyProgram() for v in graph.nodes}, instrument=rec
+        )
+        assert observed.instrument is rec
+        assert observed._observed
+
+
+class TestCompositeInstrument:
+    def test_fans_out_in_order(self):
+        first, second = RecordingInstrument(), RecordingInstrument()
+        composite = CompositeInstrument([first, second])
+        composite.on_phase_start("p")
+        assert first.events == second.events == [("phase_start", "p")]
+
+    def test_drops_null_members(self):
+        rec = RecordingInstrument()
+        composite = CompositeInstrument([NULL_INSTRUMENT, rec])
+        assert composite.instruments == (rec,)
+
+    def test_exposes_first_profiler(self):
+        from repro.obs import Profiler
+
+        prof = Profiler()
+        composite = CompositeInstrument([RecordingInstrument(), prof])
+        assert composite.profiler is prof
+
+    def test_no_profiler_means_none(self):
+        assert CompositeInstrument([RecordingInstrument()]).profiler is None
+
+
+class TestEventStream:
+    def _run(self, mode, algorithm="luby", n=80):
+        rec = RecordingInstrument()
+        graph = nx.gnp_random_graph(n, 0.1, seed=1)
+        with engine_mode(mode), instrument_scope(rec):
+            result = run_algorithm(algorithm, graph, seed=3)
+        return rec, result
+
+    def test_run_lifecycle_events(self):
+        rec, result = self._run("auto")
+        kinds = [event[0] for event in rec.events]
+        assert kinds[0] == "run_start"
+        assert kinds[-1] == "run_end"
+        assert rec.events[-1] == ("run_end", result.rounds)
+
+    @pytest.mark.parametrize("algorithm", ["luby", "regularized_luby"])
+    def test_event_streams_identical_across_engines(self, algorithm):
+        """The acceptance matrix: a recording instrument attached to every
+        engine path sees the same rounds and the same awake counts."""
+        legacy, _ = self._run("legacy", algorithm)
+        fast, _ = self._run("fast", algorithm)
+        vectorized, _ = self._run("vectorized", algorithm)
+        assert legacy.events == fast.events == vectorized.events
+        assert vectorized.rounds_seen == legacy.rounds_seen
+        assert vectorized.awake_total == legacy.awake_total
+
+    def test_round_events_match_trace(self):
+        """on_round awake counts must agree with the NetworkTrace."""
+        rec = RecordingInstrument()
+        graph = nx.gnp_random_graph(40, 0.15, seed=2)
+        network = Network(
+            graph,
+            {v: LubyProgram() for v in graph.nodes},
+            trace=True,
+            instrument=rec,
+        )
+        network.run()
+        counts = [awake for kind, _, awake in rec.of_kind("round")]
+        assert counts == [c for c in network.trace.awake_counts() if c]
+
+    def test_results_unchanged_by_instrumentation(self):
+        _, observed = self._run("auto")
+        graph = nx.gnp_random_graph(80, 0.1, seed=1)
+        plain = run_algorithm("luby", graph, seed=3)
+        assert observed.mis == plain.mis
+        assert observed.metrics == plain.metrics
+
+
+class TestPhaseEvents:
+    @pytest.mark.parametrize(
+        "algorithm,expected",
+        [
+            ("algorithm1", ["phase1", "phase2", "phase3"]),
+            ("algorithm2", ["phase1", "phase2", "phase3"]),
+            (
+                "algorithm1_avg",
+                ["phase1", "lemma42", "sparsify", "phase2", "phase3"],
+            ),
+        ],
+    )
+    def test_phase_sequence(self, algorithm, expected):
+        rec = RecordingInstrument()
+        graph = nx.gnp_random_graph(90, 0.08, seed=4)
+        with instrument_scope(rec):
+            result = run_algorithm(algorithm, graph, seed=1)
+        starts = [name for _, name in rec.of_kind("phase_start")]
+        ends = [event[1] for event in rec.of_kind("phase_end")]
+        assert starts == ends == expected
+        # Phase-end metrics are the same objects the result aggregates.
+        reported = {
+            event[1]: event[2] for event in rec.of_kind("phase_end")
+        }
+        for name, phase in result.metrics.phases.items():
+            assert reported[name] == phase.rounds
+
+
+class TestEpochEvents:
+    def test_dynamic_epochs_are_emitted(self):
+        from repro.harness import run_dynamic_workload
+
+        rec = RecordingInstrument()
+        with instrument_scope(rec):
+            result = run_dynamic_workload(
+                "link_flap", "algorithm1", n=40, epochs=3, seed=1
+            )
+        epochs = rec.of_kind("epoch")
+        assert [event[1] for event in epochs] == [
+            row.epoch for row in result.epochs
+        ]
+        assert [event[2] for event in epochs] == [
+            row.mis_size for row in result.epochs
+        ]
+
+
+class TestNullInstrument:
+    def test_singleton_shape(self):
+        assert isinstance(NULL_INSTRUMENT, NullInstrument)
+        assert isinstance(NULL_INSTRUMENT, Instrument)
+        assert NULL_INSTRUMENT.profiler is None
+
+    def test_every_hook_is_noop(self):
+        NULL_INSTRUMENT.on_run_start(None)
+        NULL_INSTRUMENT.on_round(None, 0, 0)
+        NULL_INSTRUMENT.on_phase_start("p")
+        NULL_INSTRUMENT.on_phase_end("p", None)
+        NULL_INSTRUMENT.on_epoch(None)
+        NULL_INSTRUMENT.on_run_end(None, None)

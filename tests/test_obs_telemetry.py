@@ -1,0 +1,216 @@
+"""Tests for the streaming JSONL telemetry sink and the report pipeline."""
+
+import json
+
+import networkx as nx
+import pytest
+
+from repro.harness import measure, measure_dynamic, sweep
+from repro.obs import (
+    SCHEMA_VERSION,
+    channel_label,
+    emit,
+    make_record,
+    set_telemetry_path,
+    telemetry_path,
+    telemetry_scope,
+)
+from repro.obs.report import (
+    aggregate_records,
+    flatten_numeric,
+    format_report,
+    group_key,
+    load_records,
+    report_file,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_sink():
+    """Keep the module-global sink path clean across tests."""
+    set_telemetry_path(None)
+    yield
+    set_telemetry_path(None)
+
+
+def _read_lines(path):
+    with open(path, "r", encoding="utf-8") as stream:
+        return [json.loads(line) for line in stream if line.strip()]
+
+
+class TestSink:
+    def test_emit_without_sink_is_noop(self):
+        assert telemetry_path() is None
+        assert emit({"kind": "static"}) is False
+
+    def test_emit_appends_one_line_per_record(self, tmp_path):
+        sink = tmp_path / "runs.jsonl"
+        with telemetry_scope(sink):
+            assert emit(make_record("static", n=8)) is True
+            assert emit(make_record("static", n=16)) is True
+        assert telemetry_path() is None
+        rows = _read_lines(sink)
+        assert [row["n"] for row in rows] == [8, 16]
+        assert all(row["schema"] == SCHEMA_VERSION for row in rows)
+        assert all("pid" in row for row in rows)
+
+    def test_emit_stringifies_unserializable_values(self, tmp_path):
+        sink = tmp_path / "runs.jsonl"
+        emit(make_record("static", weird={1, 2}), path=str(sink))
+        (row,) = _read_lines(sink)
+        assert isinstance(row["weird"], str)
+
+    def test_scope_restores_previous_path(self, tmp_path):
+        outer = tmp_path / "outer.jsonl"
+        set_telemetry_path(outer)
+        with telemetry_scope(tmp_path / "inner.jsonl"):
+            pass
+        assert telemetry_path() == str(outer)
+
+    def test_channel_label(self):
+        from repro.congest import make_channel
+
+        assert channel_label(None) is None
+        assert channel_label("radio") == "radio"
+        assert channel_label(make_channel("local")) == "local"
+
+
+class TestStreamingEmission:
+    def test_measure_streams_one_record_per_run(self, tmp_path):
+        sink = tmp_path / "runs.jsonl"
+        graph = nx.gnp_random_graph(30, 0.2, seed=1)
+        with telemetry_scope(sink):
+            row = measure("luby", graph, seed=0)
+            assert len(_read_lines(sink)) == 1  # streamed, not end-dumped
+            measure("luby", graph, seed=1)
+        records = _read_lines(sink)
+        assert len(records) == 2
+        record = records[0]
+        assert record["kind"] == "static"
+        assert record["algorithm"] == "luby"
+        assert record["n"] == 30
+        assert record["seed"] == 0
+        assert record["mis_size"] == row["mis_size"]
+        assert record["independent"] and record["maximal"]
+        assert record["metrics"]["rounds"] == row["rounds"]
+        assert record["elapsed_s"] >= 0
+
+    def test_measure_result_keys_unchanged_by_telemetry(self, tmp_path):
+        graph = nx.gnp_random_graph(20, 0.2, seed=2)
+        plain = measure("luby", graph, seed=0)
+        with telemetry_scope(tmp_path / "runs.jsonl"):
+            streamed = measure("luby", graph, seed=0)
+        assert streamed == plain
+
+    def test_sweep_emits_per_cell_records(self, tmp_path):
+        sink = tmp_path / "sweep.jsonl"
+        with telemetry_scope(sink):
+            sweep(["luby"], [16, 24], seeds=2, family="gnp_log_degree")
+        records = _read_lines(sink)
+        assert len(records) == 4
+        assert {r["n"] for r in records} == {16, 24}
+        assert all(r["family"] == "gnp_log_degree" for r in records)
+
+    def test_sweep_workers_inherit_sink(self, tmp_path):
+        """Pool workers must re-install the ambient sink path."""
+        sink = tmp_path / "parallel.jsonl"
+        with telemetry_scope(sink):
+            sweep(["luby"], [16], seeds=4, n_jobs=2)
+        records = _read_lines(sink)
+        assert len(records) == 4
+        assert all(r["kind"] == "static" for r in records)
+
+    def test_measure_dynamic_emits_summary_record(self, tmp_path):
+        sink = tmp_path / "dynamic.jsonl"
+        with telemetry_scope(sink):
+            summary = measure_dynamic(
+                "link_flap", "algorithm1", n=30, epochs=2, seed=0
+            )
+        (record,) = _read_lines(sink)
+        assert record["kind"] == "dynamic"
+        assert record["workload"] == "link_flap"
+        assert record["algorithm"] == "algorithm1"
+        assert record["epochs"] == 2
+        assert record["summary"] == json.loads(json.dumps(summary))
+
+
+class TestReport:
+    def test_load_records_tolerates_torn_lines(self, tmp_path):
+        sink = tmp_path / "torn.jsonl"
+        sink.write_text(
+            json.dumps(make_record("static", n=8, rounds=3)) + "\n"
+            + "\n"
+            + '[1, 2]\n'
+            + json.dumps(make_record("static", n=8, rounds=5)) + "\n"
+            + '{"kind": "static", "n": 8, "rou'  # torn final line
+        )
+        records, skipped = load_records(str(sink))
+        assert len(records) == 2
+        assert skipped == 2
+
+    def test_flatten_numeric(self):
+        record = make_record(
+            "static",
+            algorithm="luby",
+            n=32,
+            seed=7,
+            independent=True,
+            note="hello",
+            metrics={"rounds": 9, "phases": {"phase1": {"rounds": 4}}},
+        )
+        flat = flatten_numeric(record)
+        assert flat == {
+            "independent": 1.0,
+            "metrics.rounds": 9.0,
+            "metrics.phases.phase1.rounds": 4.0,
+        }
+
+    def test_group_key_ignores_seed_and_missing_fields(self):
+        a = make_record("static", algorithm="luby", n=32, seed=0)
+        b = make_record("static", algorithm="luby", n=32, seed=1)
+        c = make_record("static", algorithm="luby", n=64, seed=0)
+        assert group_key(a) == group_key(b) != group_key(c)
+
+    def test_aggregate_and_format(self):
+        records = [
+            make_record("static", algorithm="luby", n=32, rounds=4),
+            make_record("static", algorithm="luby", n=32, rounds=6),
+        ]
+        groups = aggregate_records(records)
+        assert len(groups) == 1
+        (stats,) = groups.values()
+        assert stats["rounds"].count == 2
+        assert stats["rounds"].mean == pytest.approx(5.0)
+        text = format_report(groups, skipped=1, source="x.jsonl")
+        assert "2 record(s), 1 group(s)" in text
+        assert "1 partial/undecodable line(s) skipped" in text
+        assert "algorithm=luby" in text and "n=32" in text
+
+    def test_report_file_on_real_sweep_output(self, tmp_path):
+        sink = tmp_path / "sweep.jsonl"
+        with telemetry_scope(sink):
+            sweep(["luby"], [16], seeds=3)
+        # Simulate an in-flight stream: append a torn half-record.
+        with open(sink, "a", encoding="utf-8") as stream:
+            stream.write('{"kind": "static", "alg')
+        text = report_file(str(sink), max_keys=3)
+        assert "3 record(s)" in text
+        assert "1 partial/undecodable line(s) skipped" in text
+        assert "more metric(s) truncated" in text
+
+    def test_report_cli_entry(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        sink = tmp_path / "runs.jsonl"
+        graph = nx.gnp_random_graph(16, 0.2, seed=3)
+        with telemetry_scope(sink):
+            measure("luby", graph, seed=0)
+        assert main(["report", str(sink)]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry report" in out
+        assert "kind=static" in out
+
+    def test_report_cli_missing_file(self, tmp_path):
+        from repro.__main__ import main
+
+        assert main(["report", str(tmp_path / "absent.jsonl")]) == 1
