@@ -7,6 +7,8 @@ Examples::
     python -m repro --algorithm radio_decay --channel broadcast --n 256
     python -m repro --algorithm luby --seeds 20 --telemetry runs.jsonl
     python -m repro --algorithm algorithm1 --n 1000 --profile
+    python -m repro --algorithm luby --faults drop=0.1,crash=0.05,seed=7
+    python -m repro -a luby --seeds 50 -j 4 --checkpoint cp.jsonl --resume
     python -m repro report runs.jsonl
     python -m repro --list
     python -m repro dynamic --workload sensor_battery_decay -a algorithm1
@@ -26,6 +28,97 @@ from .harness import ALGORITHMS, run_algorithm
 from .obs import configure_logging, get_logger, set_telemetry_path
 
 _log = get_logger("cli")
+
+
+def _probability(text: str) -> float:
+    """argparse type: a float in [0, 1]."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a number: {text!r}")
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"probability must be in [0, 1], got {value}"
+        )
+    return value
+
+
+def _non_negative_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _jobs_count(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}")
+    if value != -1 and value < 1:
+        raise argparse.ArgumentTypeError(
+            f"jobs must be positive or -1 (all cores), got {value}"
+        )
+    return value
+
+
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a number: {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
+
+
+def _non_negative_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a number: {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
+    """Per-task retry/timeout knobs shared by run-executing subcommands."""
+    parser.add_argument(
+        "--retries", type=_non_negative_int, default=None, metavar="K",
+        help="retry each failed/timed-out task up to K more times "
+             "(exponential backoff; default 0)",
+    )
+    parser.add_argument(
+        "--task-timeout", type=_positive_float, default=None, metavar="SEC",
+        help="per-task wall-clock budget in seconds (default: unlimited)",
+    )
+
+
+def _install_resilience(args) -> None:
+    """Install --retries/--task-timeout as the module-wide defaults."""
+    from .harness import set_default_resilience
+
+    overrides = {}
+    if args.retries is not None:
+        overrides["retries"] = args.retries
+    if getattr(args, "task_timeout", None) is not None:
+        overrides["task_timeout"] = args.task_timeout
+    if overrides:
+        set_default_resilience(**overrides)
 
 
 def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
@@ -68,14 +161,23 @@ def _static_main(argv) -> int:
         "--family", "-f", default="gnp_log_degree",
         help=f"one of {sorted(FAMILIES)}",
     )
-    parser.add_argument("--n", "-n", type=int, default=512)
-    parser.add_argument("--seed", "-s", type=int, default=0)
+    parser.add_argument("--n", "-n", type=_positive_int, default=512)
+    parser.add_argument("--seed", "-s", type=_non_negative_int, default=0)
     parser.add_argument(
-        "--channel", "-c", default=None, choices=sorted(CHANNELS),
-        metavar="CHANNEL",
+        "--channel", "-c", default=None, metavar="CHANNEL",
         help=(
-            f"delivery model, one of {sorted(CHANNELS)} "
+            f"delivery model, one of {sorted(CHANNELS)} or a fault-wrapper "
+            "spec like 'lossy(drop=0.1):congest' "
             "(default: the algorithm's own, CONGEST for most)"
+        ),
+    )
+    parser.add_argument(
+        "--faults", default=None, metavar="KEY=VAL,...",
+        help=(
+            "inject faults: channel keys drop/burst/flip/jam/jam_fraction/"
+            "jam_rounds wrap --channel; node keys crash/straggle/"
+            "recover_after/straggle_duration/horizon build a crash plan; "
+            "seed applies to both (e.g. 'drop=0.1,crash=0.05,seed=7')"
         ),
     )
     parser.add_argument(
@@ -88,12 +190,22 @@ def _static_main(argv) -> int:
         ),
     )
     parser.add_argument(
-        "--seeds", type=int, default=1, metavar="K",
+        "--seeds", type=_positive_int, default=1, metavar="K",
         help="run K seeds (seed, seed+1, ...) and report per-seed + mean",
     )
     parser.add_argument(
-        "--jobs", "-j", type=int, default=1, metavar="N",
+        "--jobs", "-j", type=_jobs_count, default=1, metavar="N",
         help="worker processes for multi-seed runs (-1 = all cores)",
+    )
+    _add_resilience_flags(parser)
+    parser.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="record each finished multi-seed task to PATH (JSONL); with "
+             "--resume, skip tasks already recorded there",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume from --checkpoint instead of truncating it",
     )
     _add_observability_flags(parser)
     parser.add_argument(
@@ -110,32 +222,64 @@ def _static_main(argv) -> int:
         print("workloads: ", ", ".join(sorted(WORKLOADS)), "(via 'dynamic')")
         return 0
 
-    if args.channel is not None:
+    if args.resume and not args.checkpoint:
+        parser.error("--resume requires --checkpoint PATH")
+
+    fault_wrappers, fault_plan_params = {}, {}
+    if args.faults:
+        from .faults import parse_fault_flags
+
+        try:
+            fault_wrappers, fault_plan_params = parse_fault_flags(args.faults)
+        except ValueError as error:
+            parser.error(str(error))
+    channel = args.channel
+    if fault_wrappers:
+        from .faults import compose_faulty_spec
+
+        channel = compose_faulty_spec(channel, fault_wrappers)
+    if channel is not None:
+        from .congest import make_channel
+
+        try:
+            make_channel(channel)
+        except (KeyError, ValueError) as error:
+            parser.error(str(error))
         # Delegate to the isinstance-based check so every broadcast
-        # variant (broadcast, broadcast-no-cd, broadcast-scalar, future
-        # ones) gets the clean argparse error, not a traceback later.
+        # variant (broadcast, broadcast-no-cd, fault-wrapped ones, future
+        # variants) gets the clean argparse error, not a traceback later.
         from .harness.runner import _check_radio_safety
 
         try:
-            _check_radio_safety(args.algorithm, args.channel)
+            _check_radio_safety(args.algorithm, channel)
         except ValueError as error:
             parser.error(str(error))
 
     set_engine_mode(args.engine)
     set_telemetry_path(args.telemetry)
+    _install_resilience(args)
 
     if args.seeds > 1:
-        return _static_multi_seed(args)
+        return _static_multi_seed(args, channel, fault_plan_params)
 
     _log.info(
         "running %s on %s n=%d seed=%d (engine=%s)",
         args.algorithm, args.family, args.n, args.seed, args.engine,
     )
     graph = make_family(args.family, args.n, seed=args.seed)
+    faults = None
+    if fault_plan_params:
+        from .faults import FaultPlan
+
+        faults = FaultPlan.random(graph.nodes, **fault_plan_params)
+        _log.info(
+            "fault plan: %d node events (%s)",
+            len(faults.events), ", ".join(sorted(faults.kinds())) or "none",
+        )
     started = perf_counter()
     result = run_algorithm(
-        args.algorithm, graph, seed=args.seed, channel=args.channel,
-        profile=args.profile,
+        args.algorithm, graph, seed=args.seed, channel=channel,
+        profile=args.profile, faults=faults,
     )
     elapsed = perf_counter() - started
     _log.info("run finished in %.3fs", elapsed)
@@ -143,13 +287,13 @@ def _static_main(argv) -> int:
     from .harness import emit_static_record
 
     emit_static_record(
-        args.algorithm, graph, args.seed, args.channel, result, report,
+        args.algorithm, graph, args.seed, channel, result, report,
         elapsed, extra={"family": args.family},
     )
 
     print(f"graph:        {args.family}, n={graph.number_of_nodes()}, "
           f"m={graph.number_of_edges()}")
-    channel_name = args.channel or result.details.get("channel", "congest")
+    channel_name = channel or result.details.get("channel", "congest")
     print(f"algorithm:    {result.algorithm} (channel: {channel_name})")
     print(f"|MIS|:        {len(result.mis)}")
     print(f"rounds:       {result.rounds}")
@@ -173,7 +317,7 @@ def _static_main(argv) -> int:
     return 0 if report.independent else 2
 
 
-def _static_multi_seed(args) -> int:
+def _static_multi_seed(args, channel, fault_plan_params) -> int:
     """Run one algorithm across several seeds (optionally in parallel)."""
     from .harness import measure_many
 
@@ -186,14 +330,20 @@ def _static_multi_seed(args) -> int:
         f", streaming telemetry to {args.telemetry}" if args.telemetry else "",
     )
     tasks = [
-        (args.algorithm, args.family, args.n, seed, args.channel)
+        (args.algorithm, args.family, args.n, seed, channel)
+        + ((fault_plan_params,) if fault_plan_params else ())
         for seed in seeds
     ]
+    checkpoint = None
+    if args.checkpoint:
+        from .harness import SweepCheckpoint
+
+        checkpoint = SweepCheckpoint(args.checkpoint, resume=args.resume)
     # Engine mode is ambient (not part of the task tuple), so it must be
     # re-installed inside each worker — spawn-started pools inherit
     # nothing from the parent's set_engine_mode call.
     outcomes = measure_many(
-        tasks, n_jobs=args.jobs,
+        tasks, n_jobs=args.jobs, checkpoint=checkpoint,
         initializer=set_engine_mode, initargs=(args.engine,),
     )
 
@@ -205,10 +355,22 @@ def _static_multi_seed(args) -> int:
     header = f"{'seed':>6} " + " ".join(f"{key:>14}" for key in keys)
     print(header)
     for seed, outcome in zip(seeds, outcomes):
-        print(f"{seed:>6} "
-              + " ".join(f"{outcome[key]:>14.2f}" for key in keys))
+        if outcome is None:
+            print(f"{seed:>6} " + " ".join(f"{'FAILED':>14}" for _ in keys))
+        else:
+            print(f"{seed:>6} "
+                  + " ".join(f"{outcome[key]:>14.2f}" for key in keys))
+    completed = [outcome for outcome in outcomes if outcome is not None]
+    if not completed:
+        _log.error("every task failed; see the checkpoint manifest")
+        return 1
+    if len(completed) < len(outcomes) and checkpoint is not None:
+        _log.warning(
+            "%d/%d tasks failed permanently; manifest in %s",
+            len(outcomes) - len(completed), len(outcomes), checkpoint.path,
+        )
     means = {
-        key: sum(outcome[key] for outcome in outcomes) / len(outcomes)
+        key: sum(outcome[key] for outcome in completed) / len(completed)
         for key in keys
     }
     print(f"{'mean':>6} " + " ".join(f"{means[key]:>14.2f}" for key in keys))
@@ -242,21 +404,22 @@ def _dynamic_main(argv) -> int:
         choices=list(STRATEGIES),
         help="repair only the invalidated region, or re-elect from scratch",
     )
-    parser.add_argument("--n", "-n", type=int, default=200)
-    parser.add_argument("--epochs", "-e", type=int, default=10)
-    parser.add_argument("--seed", "-s", type=int, default=0)
+    parser.add_argument("--n", "-n", type=_positive_int, default=200)
+    parser.add_argument("--epochs", "-e", type=_positive_int, default=10)
+    parser.add_argument("--seed", "-s", type=_non_negative_int, default=0)
     parser.add_argument(
-        "--rate", type=float, default=1.0, metavar="R",
+        "--rate", type=_non_negative_float, default=1.0, metavar="R",
         help="churn-rate multiplier (scales events per epoch)",
     )
     parser.add_argument(
-        "--seeds", type=int, default=1, metavar="K",
+        "--seeds", type=_positive_int, default=1, metavar="K",
         help="run K seeds (seed, seed+1, ...) and report summary means",
     )
     parser.add_argument(
-        "--jobs", "-j", type=int, default=1, metavar="N",
+        "--jobs", "-j", type=_jobs_count, default=1, metavar="N",
         help="worker processes for multi-seed runs (-1 = all cores)",
     )
+    _add_resilience_flags(parser)
     _add_observability_flags(parser)
     parser.add_argument(
         "--list", action="store_true", help="list workloads and strategies"
@@ -264,6 +427,7 @@ def _dynamic_main(argv) -> int:
     args = parser.parse_args(argv)
     configure_logging(verbose=args.verbose, quiet=args.quiet)
     set_telemetry_path(args.telemetry)
+    _install_resilience(args)
 
     if args.list:
         print("workloads: ", ", ".join(sorted(WORKLOADS)))

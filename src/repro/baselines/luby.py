@@ -145,7 +145,19 @@ class _LubyVectorRound(VectorRound):
 
     RNG draw order matches the scalar loop exactly: only ACTIVE nodes with
     a live neighbor draw, in sorted node order, one uniform per MARK.
+
+    Under an active channel-fault stack (``self.faults``), the first
+    invariant breaks — a dropped join/retire announcement leaves the
+    receiver *believing* its neighbor is still active — so the fault path
+    replicates the scalar program's belief state explicitly: ``edge_live``
+    is the per-slot belief "this row still counts that neighbor", the mark
+    probability and priority keys use the believed degree derived from it,
+    and beliefs shrink only on announcements that actually survived the
+    round's keep mask (the MARK mask is also replayed at RESOLVE, where
+    the scalar path reads its stored inbox).  The clean path is untouched.
     """
+
+    supports_edge_faults = True
 
     def load(self) -> None:
         arrays = self.arrays
@@ -166,9 +178,45 @@ class _LubyVectorRound(VectorRound):
             self.state[i] = _STATE_CODES[program.state]
             self.marked[i] = program.marked
             self.pending[i] = program.pending_retirement
-        # Active degree at the current cycle's MARK == live-neighbor count
-        # (see class docstring); refreshed at every MARK round.
-        self.active_deg = arrays.neighbor_count(self.alive)
+        if self.faults is None:
+            # Active degree at the current cycle's MARK == live-neighbor
+            # count (see class docstring); refreshed at every MARK round.
+            self.active_deg = arrays.neighbor_count(self.alive)
+        else:
+            self._load_beliefs()
+
+    def _load_beliefs(self) -> None:
+        """Fault path: lift each program's belief state into slot columns."""
+        arrays = self.arrays
+        network = self.network
+        indptr, indices, nodes = arrays.indptr, arrays.indices, arrays.nodes
+        edge_live = np.zeros(indices.shape[0], dtype=bool)
+        next_phase = (network.round_index + 1) % 3
+        mark_keep = (
+            np.zeros(indices.shape[0], dtype=bool)
+            if next_phase == _RESOLVE
+            else None
+        )
+        for i, node in enumerate(nodes):
+            if not self.alive[i]:
+                continue
+            program = network.programs[node]
+            start, end = int(indptr[i]), int(indptr[i + 1])
+            believed = program.active_neighbors
+            for e in range(start, end):
+                edge_live[e] = nodes[indices[e]] in believed
+            if mark_keep is not None:
+                # Mid-cycle engagement between MARK and RESOLVE: the mark
+                # announcements were delivered (and filtered) by the scalar
+                # wrapper; replay the survivors as this cycle's MARK mask.
+                received = {sender for sender, _ in program.marked_neighbors}
+                for e in range(start, end):
+                    mark_keep[e] = nodes[indices[e]] in received
+        self.edge_live = edge_live
+        self._mark_keep = mark_keep
+        self.active_deg = np.bincount(
+            arrays.edge_source[edge_live], minlength=arrays.n
+        ).astype(np.int64, copy=False)
 
     def flush_state(self) -> None:
         arrays = self.arrays
@@ -176,6 +224,10 @@ class _LubyVectorRound(VectorRound):
         alive = self.alive
         indptr, indices = arrays.indptr, arrays.indices
         nodes = arrays.nodes
+        faulty = self.faults is not None
+        if faulty:
+            edge_live = self.edge_live
+            mark_keep = self._mark_keep
         # Reconstruct MARK-receive inboxes only when the next round is a
         # RESOLVE (the one point where the scalar path reads them).
         rebuild_inbox = (network.round_index + 1) % 3 == _RESOLVE
@@ -185,16 +237,31 @@ class _LubyVectorRound(VectorRound):
             program.marked = bool(self.marked[i])
             program.pending_retirement = bool(self.pending[i])
             if alive[i]:
-                row = indices[indptr[i]:indptr[i + 1]]
-                program.active_neighbors = {
-                    nodes[u] for u in row if alive[u]
-                }
-                if rebuild_inbox:
-                    program.marked_neighbors = [
-                        (nodes[u], int(self.active_deg[u]))
-                        for u in row
-                        if self.marked[u] and self.state[u] == 0
-                    ]
+                start, end = int(indptr[i]), int(indptr[i + 1])
+                row = indices[start:end]
+                if faulty:
+                    program.active_neighbors = {
+                        nodes[row[k]]
+                        for k in range(end - start)
+                        if edge_live[start + k]
+                    }
+                    if rebuild_inbox:
+                        program.marked_neighbors = [
+                            (nodes[u], int(self.active_deg[u]))
+                            for k, u in enumerate(row)
+                            if self.marked[u] and self.state[u] == 0
+                            and (mark_keep is None or mark_keep[start + k])
+                        ]
+                else:
+                    program.active_neighbors = {
+                        nodes[u] for u in row if alive[u]
+                    }
+                    if rebuild_inbox:
+                        program.marked_neighbors = [
+                            (nodes[u], int(self.active_deg[u]))
+                            for u in row
+                            if self.marked[u] and self.state[u] == 0
+                        ]
 
     # ------------------------------------------------------------------
     def step_round(self) -> None:
@@ -210,7 +277,16 @@ class _LubyVectorRound(VectorRound):
     def _mark(self) -> None:
         arrays = self.arrays
         alive = self.alive
-        degree = arrays.neighbor_count(alive)
+        faulty = self.faults is not None
+        if faulty:
+            # Believed degree, not live-neighbor count: dropped join/retire
+            # announcements leave stale entries, exactly as in the scalar
+            # program's ``active_neighbors``.
+            degree = np.bincount(
+                arrays.edge_source[self.edge_live], minlength=arrays.n
+            ).astype(np.int64, copy=False)
+        else:
+            degree = arrays.neighbor_count(alive)
         self.active_deg = degree
         active = alive & (self.state == 0)
         marked = np.zeros(arrays.n, dtype=bool)
@@ -222,16 +298,28 @@ class _LubyVectorRound(VectorRound):
         self.marked = marked
         bits = 6 + np.maximum(1, int_bit_length(degree)) if self.priced \
             else None
-        self.count_broadcasts(marked, alive, bits, alive_neighbors=degree)
+        if faulty:
+            self._mark_keep = self.fault_keep()
+            self.count_broadcasts(marked, alive, bits, keep=self._mark_keep)
+        else:
+            self.count_broadcasts(marked, alive, bits, alive_neighbors=degree)
 
     def _resolve(self) -> None:
         arrays = self.arrays
         alive = self.alive
         n = arrays.n
         degree = self.active_deg
+        faulty = self.faults is not None
         key = degree * np.int64(n) + np.arange(n, dtype=np.int64)
         contender_key = np.where(self.marked & (self.state == 0), key, -1)
-        rival = arrays.neighbor_max(contender_key, empty=np.int64(-1))
+        if faulty and self._mark_keep is not None:
+            # A mark that was dropped on a slot was never heard by that
+            # receiver: it cannot beat the receiver there.
+            rival = arrays.masked_neighbor_max(
+                contender_key, np.int64(-1), self._mark_keep
+            )
+        else:
+            rival = arrays.neighbor_max(contender_key, empty=np.int64(-1))
         winners = self.marked & (self.state == 0) & (rival < key)
         winner_idx = np.nonzero(winners)[0]
         round_index = self.network.round_index
@@ -241,12 +329,29 @@ class _LubyVectorRound(VectorRound):
             output["in_mis"] = True
             output["decided_round"] = round_index
         one_bit = np.ones(n, dtype=np.int64) if self.priced else None
-        # No deaths since MARK, so the cached degree *is* this round's
-        # live-neighbor count.
-        self.count_broadcasts(winners, alive, one_bit, alive_neighbors=degree)
+        if faulty:
+            resolve_keep = self.fault_keep()
+            self.count_broadcasts(winners, alive, one_bit, keep=resolve_keep)
+            if resolve_keep is None:
+                joined_nearby = arrays.neighbor_count(winners)
+                heard_slots = winners[arrays.indices]
+            else:
+                joined_nearby = arrays.masked_neighbor_count(
+                    winners, resolve_keep
+                )
+                heard_slots = winners[arrays.indices] & resolve_keep
+            # Belief update: only joins that were actually heard retire the
+            # receiver's link to the joiner.
+            self.edge_live[heard_slots] = False
+        else:
+            # No deaths since MARK, so the cached degree *is* this round's
+            # live-neighbor count.
+            self.count_broadcasts(
+                winners, alive, one_bit, alive_neighbors=degree
+            )
+            joined_nearby = arrays.neighbor_count(winners)
         # Receive phase: non-winners that heard a join retire their link
         # and (if still competing) schedule their retirement announcement.
-        joined_nearby = arrays.neighbor_count(winners)
         heard = alive & ~winners & (joined_nearby > 0)
         removed = heard & (self.state == 0)
         self.pending[removed] = True
@@ -261,7 +366,15 @@ class _LubyVectorRound(VectorRound):
         alive = self.alive
         retirees = self.pending & alive
         one_bit = np.ones(arrays.n, dtype=np.int64) if self.priced else None
-        self.count_broadcasts(retirees, alive, one_bit)
+        if self.faults is not None:
+            retire_keep = self.fault_keep()
+            self.count_broadcasts(retirees, alive, one_bit, keep=retire_keep)
+            heard_slots = retirees[arrays.indices]
+            if retire_keep is not None:
+                heard_slots = heard_slots & retire_keep
+            self.edge_live[heard_slots] = False
+        else:
+            self.count_broadcasts(retirees, alive, one_bit)
         retiree_idx = np.nonzero(retirees)[0]
         alive[retiree_idx] = False
         self.halt_ranks(retiree_idx)

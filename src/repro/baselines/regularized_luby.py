@@ -116,7 +116,15 @@ class _RegularizedLubyVectorRound(VectorRound):
     order, exactly like the scalar loop.  All schedule parameters are
     identical across nodes by construction (one factory builds every
     program), so they are read from an arbitrary instance.
+
+    Channel faults are simpler here than in classic Luby: the marking
+    probability carries no degree belief, so a fault only filters which
+    mark/join announcements are *heard* — ``saw_marked`` and domination
+    are computed through the round's keep mask, and accounting moves the
+    destroyed copies to the dropped counter.  The clean path is untouched.
     """
+
+    supports_edge_faults = True
 
     def load(self) -> None:
         arrays = self.arrays
@@ -168,11 +176,17 @@ class _RegularizedLubyVectorRound(VectorRound):
         # both sub-rounds' deliveries.
         self._alive_neighbors = arrays.neighbor_count(alive)
         one_bit = np.ones(arrays.n, dtype=np.int64) if self.priced else None
-        self.count_broadcasts(
-            marked, alive, one_bit, alive_neighbors=self._alive_neighbors
-        )
+        keep = self.fault_keep() if self.faults is not None else None
+        if keep is not None:
+            self.count_broadcasts(marked, alive, one_bit, keep=keep)
+            heard_marks = arrays.masked_neighbor_count(marked, keep)
+        else:
+            self.count_broadcasts(
+                marked, alive, one_bit, alive_neighbors=self._alive_neighbors
+            )
+            heard_marks = arrays.neighbor_count(marked)
         self.saw_marked = np.zeros(arrays.n, dtype=bool)
-        self.saw_marked[alive] = (arrays.neighbor_count(marked) > 0)[alive]
+        self.saw_marked[alive] = (heard_marks > 0)[alive]
 
     def _join(self) -> None:
         arrays = self.arrays
@@ -182,12 +196,16 @@ class _RegularizedLubyVectorRound(VectorRound):
         for i in np.nonzero(winners)[0]:
             self.output_of(i)["in_mis"] = True
         one_bit = np.ones(arrays.n, dtype=np.int64) if self.priced else None
-        self.count_broadcasts(
-            winners, alive, one_bit, alive_neighbors=self._alive_neighbors
-        )
-        dominated = (
-            alive & ~winners & (arrays.neighbor_count(winners) > 0)
-        )
+        keep = self.fault_keep() if self.faults is not None else None
+        if keep is not None:
+            self.count_broadcasts(winners, alive, one_bit, keep=keep)
+            heard_joins = arrays.masked_neighbor_count(winners, keep)
+        else:
+            self.count_broadcasts(
+                winners, alive, one_bit, alive_neighbors=self._alive_neighbors
+            )
+            heard_joins = arrays.neighbor_count(winners)
+        dominated = alive & ~winners & (heard_joins > 0)
         halting = np.nonzero(winners | dominated)[0]
         alive[halting] = False
         self.halt_ranks(halting)

@@ -39,9 +39,11 @@ from .network import (
     ENGINE_MODES,
     Network,
     engine_mode,
+    fault_scope,
     get_engine_mode,
     legacy_engine,
     run_uniform_program,
+    scoped_fault_plan,
     set_engine_mode,
     set_legacy_mode,
 )
@@ -92,8 +94,10 @@ __all__ = [
     "SimulationLimitError",
     "channel_scope",
     "default_bit_budget",
+    "fault_scope",
     "legacy_engine",
     "make_channel",
+    "scoped_fault_plan",
     "payload_bits",
     "payload_bits_cached",
     "run_uniform_program",

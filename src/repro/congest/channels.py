@@ -132,6 +132,26 @@ class Channel:
     def finish_round(self) -> None:
         """Reclaim round-scoped delivery state (after ``on_receive``)."""
 
+    # -- wrapper introspection ------------------------------------------
+    def unwrapped(self) -> "Channel":
+        """The base medium beneath any fault/decorator wrappers.
+
+        Plain channels are their own base; wrappers (see
+        :mod:`repro.faults.channels`) delegate through their inner channel
+        so radio-safety checks and engine-capability tests see the real
+        delivery semantics regardless of fault layers.
+        """
+        return self
+
+    def vector_faults(self, arrays):
+        """Per-round edge-drop state for the vectorized engine, or ``None``.
+
+        Fault wrappers answer with an object exposing
+        ``round_keep(round_index) -> Optional[bool ndarray]`` over the CSR
+        edge slots of ``arrays``; plain channels have no faults.
+        """
+        return None
+
 
 class _InboxView:
     """One receiver's inbox, lazily materialized from flat slot buffers.
@@ -746,8 +766,16 @@ def make_channel(spec: ChannelSpec) -> Channel:
         try:
             factory = CHANNELS[spec]
         except KeyError:
+            if "(" in spec or ":" in spec:
+                # Compound fault-wrapper grammar, e.g.
+                # ``lossy(drop=0.1):congest``. Imported lazily: the faults
+                # package builds on this module.
+                from ..faults.spec import parse_channel_spec
+
+                return parse_channel_spec(spec)
             raise KeyError(
-                f"unknown channel {spec!r}; have {sorted(CHANNELS)}"
+                f"unknown channel {spec!r}; have {sorted(CHANNELS)} "
+                f"(or a fault spec such as 'lossy(drop=0.1):congest')"
             ) from None
         return factory()
     if callable(spec):

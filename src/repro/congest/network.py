@@ -138,6 +138,30 @@ def legacy_engine():
         yield
 
 
+# Ambient node-fault plans, mirroring ``channel_scope``: multi-phase
+# algorithm drivers build several sequential Networks internally, and a
+# fault timeline must reach all of them without threading a parameter
+# through every constructor call.  The plan object is duck-typed (anything
+# with ``empty`` and ``bind(network)``) so the engine does not import
+# ``repro.faults``, which builds on top of this module.
+_FAULT_SCOPE_STACK: List = []
+
+
+@contextmanager
+def fault_scope(plan):
+    """Make ``plan`` the default ``faults=`` for Networks built inside."""
+    _FAULT_SCOPE_STACK.append(plan)
+    try:
+        yield plan
+    finally:
+        _FAULT_SCOPE_STACK.pop()
+
+
+def scoped_fault_plan():
+    """The innermost active :func:`fault_scope` plan, or ``None``."""
+    return _FAULT_SCOPE_STACK[-1] if _FAULT_SCOPE_STACK else None
+
+
 class Network:
     """Simulate node programs on an undirected graph.
 
@@ -168,6 +192,12 @@ class Network:
         falling back to the shared null instrument. Whether the network is
         observed is decided once here, so the disabled path costs the hot
         loop only a couple of ``is not None`` checks per round.
+    faults:
+        Optional node-fault timeline (a :class:`repro.faults.FaultPlan`)
+        injected through the step loop: crashes halt their node at the
+        scheduled round, stragglers are forced asleep for their duration.
+        Defaults to the innermost :func:`fault_scope` plan. An empty plan
+        costs the step loop nothing (no injector is installed at all).
     """
 
     def __init__(
@@ -182,6 +212,7 @@ class Network:
         trace: bool = False,
         channel: ChannelSpec = None,
         instrument=None,
+        faults=None,
     ):
         if graph.number_of_nodes() == 0:
             raise ValueError("cannot simulate an empty graph")
@@ -230,6 +261,9 @@ class Network:
         self._started = False
         self.channel = make_channel(channel)
         self.channel.bind(self)
+        if faults is None:
+            faults = scoped_fault_plan()
+        self._fault_injector = faults.bind(self) if faults is not None else None
         self.instrument = resolve_instrument(instrument)
         self._observed = self.instrument is not NULL_INSTRUMENT
         self._profiler = self.instrument.profiler if self._observed else None
@@ -328,6 +362,13 @@ class Network:
             self.start()
         self.round_index += 1
 
+        # Node faults strike at the top of the round: a crash halts its
+        # node before the awake set is assembled, a straggler is filtered
+        # out of it below.
+        injector = self._fault_injector
+        if injector is not None:
+            injector.begin_round(self, self.round_index)
+
         # Assemble the awake set; reuse the cached sorted view when no
         # scheduled node wakes this round (the common case for always-on
         # algorithms like Luby).
@@ -344,6 +385,12 @@ class Network:
             ordered = sorted(awake)
         else:
             ordered, awake = self._always_on_view()
+        if injector is not None:
+            # Never mutates the cached always-on view: stalled nodes are
+            # dropped from fresh copies of (ordered, awake).
+            ordered, awake = injector.filter_awake(
+                self, self.round_index, ordered, awake
+            )
 
         trace = self.trace
         if not awake:
@@ -456,10 +503,16 @@ class Network:
             cls = type(first)
             factory = getattr(cls, "vector_round", None)
             if callable(factory):
-                if type(self.channel) not in (CongestChannel, LocalChannel):
+                base = self.channel.unwrapped()
+                if type(base) not in (CongestChannel, LocalChannel):
                     reason = (
                         f"channel {self.channel.name!r} has no vectorized "
                         f"point-to-point delivery"
+                    )
+                elif self._fault_injector is not None:
+                    reason = (
+                        "node-fault injection (crash/straggler plans) "
+                        "requires the scalar step loop"
                     )
                 elif any(type(p) is not cls for p in programs.values()):
                     reason = "nodes run heterogeneous program classes"
@@ -474,6 +527,16 @@ class Network:
                         else f"{cls.__name__}.vector_round declined this "
                              f"network (heterogeneous program parameters)"
                     )
+                    if (
+                        runner is not None
+                        and getattr(runner, "faults", None) is not None
+                        and not getattr(runner, "supports_edge_faults", False)
+                    ):
+                        runner = None
+                        reason = (
+                            f"{cls.__name__}'s vectorized round does not "
+                            f"support channel fault masks"
+                        )
             cache = (runner, reason)
             self._vector_runner_cache = cache
         runner, reason = cache

@@ -143,6 +143,52 @@ class GraphArrays:
             )
         return out
 
+    # -- fault-masked variants -------------------------------------------
+    # Slot convention shared with ``Channel.vector_faults``: CSR slot ``e``
+    # sits in the row of receiver ``edge_source[e]`` and carries the
+    # delivery from sender ``indices[e]``; ``keep[e]`` is False when a
+    # fault destroyed that delivery this round.  With an all-True mask both
+    # variants coincide with their clean counterparts (for the count, by
+    # symmetry of the undirected slot set).
+
+    def masked_neighbor_count(
+        self, mask: np.ndarray, keep: np.ndarray
+    ) -> np.ndarray:
+        """Per-receiver count of flagged senders whose delivery survived."""
+        selected = mask[self.indices] & keep
+        if not selected.any():
+            return np.zeros(self.n, dtype=np.int64)
+        return np.bincount(
+            self.edge_source[selected], minlength=self.n
+        ).astype(np.int64, copy=False)
+
+    def masked_neighbor_max(
+        self, values: np.ndarray, empty, keep: np.ndarray
+    ) -> np.ndarray:
+        """Per-receiver max of surviving senders' ``values`` (else ``empty``)."""
+        out = np.full(self.n, empty, dtype=values.dtype)
+        indptr = self.indptr
+        nonempty = indptr[:-1] < indptr[1:]
+        if nonempty.any():
+            edge_values = np.where(keep, values[self.indices], empty)
+            out[nonempty] = np.maximum.reduceat(
+                edge_values, indptr[:-1][nonempty]
+            )
+        return out
+
+    def delivery_counts(
+        self, senders: np.ndarray, alive: np.ndarray, keep: np.ndarray
+    ) -> np.ndarray:
+        """Per-sender count of copies actually received under ``keep``.
+
+        A copy from sender ``indices[e]`` lands iff the receiving row is
+        alive (awake, in the dense regime) and no fault dropped the slot.
+        """
+        selected = senders[self.indices] & alive[self.edge_source] & keep
+        return np.bincount(
+            self.indices[selected], minlength=self.n
+        ).astype(np.int64, copy=False)
+
 
 def graph_arrays(network) -> GraphArrays:
     """The network's cached :class:`GraphArrays` (built on first use).
@@ -254,7 +300,13 @@ class VectorRound:
         self.network = network
         self.arrays = graph_arrays(network)
         #: LOCAL channels price payloads at 0 bits and skip bit accounting.
-        self.priced = not isinstance(network.channel, LocalChannel)
+        #: The check sees through fault wrappers to the base medium.
+        self.priced = not isinstance(network.channel.unwrapped(), LocalChannel)
+        #: Channel-fault state (per-round keep masks over CSR edge slots),
+        #: or None for a clean channel. Subclasses that consume the masks
+        #: declare ``supports_edge_faults = True``; the engine refuses to
+        #: engage a runner whose faults it would silently ignore.
+        self.faults = network.channel.vector_faults(self.arrays)
         self.loaded = False
         self._pending_energy = np.zeros(self.arrays.n, dtype=np.int64)
         self.draws = DrawStreams(
@@ -268,6 +320,9 @@ class VectorRound:
         self.draws.profiler = network._profiler
         self._last_alive = 0
         _VECTOR_STATS["networks"] += 1
+
+    #: Whether :meth:`step_round` consults :meth:`fault_keep` masks.
+    supports_edge_faults = False
 
     # -- subclass API ---------------------------------------------------
     def load(self) -> None:
@@ -317,6 +372,13 @@ class VectorRound:
         self.loaded = False
 
     # -- shared helpers -------------------------------------------------
+    def fault_keep(self) -> Optional[np.ndarray]:
+        """This round's per-slot delivery mask, or None when nothing drops."""
+        faults = self.faults
+        if faults is None:
+            return None
+        return faults.round_keep(self.network.round_index)
+
     def charge_awake(self, alive: np.ndarray) -> None:
         """Bill one awake round per live node (flushed to the ledger later;
         the ledger is only read after :meth:`flush`, so totals agree)."""
@@ -350,7 +412,8 @@ class VectorRound:
 
     def count_broadcasts(self, senders: np.ndarray, alive: np.ndarray,
                          bits_per_copy: Optional[np.ndarray],
-                         alive_neighbors: Optional[np.ndarray] = None) -> None:
+                         alive_neighbors: Optional[np.ndarray] = None,
+                         keep: Optional[np.ndarray] = None) -> None:
         """Account a whole-neighborhood broadcast wave on the network.
 
         ``senders``/``alive`` are boolean rank masks; every sender ships one
@@ -360,7 +423,9 @@ class VectorRound:
         price (None on unpriced channels); matches the batched CONGEST
         channel's accounting bit for bit.  ``alive_neighbors`` lets callers
         that already computed this round's live-neighbor counts skip the
-        second CSR pass.
+        second CSR pass.  ``keep`` is this round's channel-fault slot mask:
+        copies whose slot is masked out were sent (and priced) but never
+        received, so they move from the delivered to the dropped counter.
         """
         network = self.network
         arrays = self.arrays
@@ -369,9 +434,14 @@ class VectorRound:
             self.record_trace(alive, 0, 0, 0)
             return
         sent = int(arrays.degrees[sender_idx].sum())
-        if alive_neighbors is None:
-            alive_neighbors = arrays.neighbor_count(alive)
-        delivered = int(alive_neighbors[sender_idx].sum())
+        if keep is not None:
+            delivered = int(
+                arrays.delivery_counts(senders, alive, keep)[sender_idx].sum()
+            )
+        else:
+            if alive_neighbors is None:
+                alive_neighbors = arrays.neighbor_count(alive)
+            delivered = int(alive_neighbors[sender_idx].sum())
         dropped = sent - delivered
         bits = None
         if self.priced and bits_per_copy is not None:

@@ -1,0 +1,256 @@
+"""Fault channel-spec grammar and the ``--faults`` CLI shorthand.
+
+Grammar (chainable, innermost last)::
+
+    spec     := wrapper ":" spec | base
+    wrapper  := kind [ "(" params ")" ]
+    kind     := "lossy" | "corrupt" | "jam"
+    params   := key "=" value { "," key "=" value }
+    base     := any registered channel name (CHANNELS)
+
+Examples::
+
+    lossy(drop=0.1,burst=0.02,seed=7):congest
+    jam(rate=0.2,seed=5):broadcast
+    jam(rounds=[3,5,9],fraction=0.5):broadcast-no-cd
+    lossy(drop=0.05):corrupt(flip=0.01):congest
+
+Values are parsed with :func:`ast.literal_eval` (so lists/tuples/floats
+work) and fall back to bare strings; parameter validation itself lives in
+the wrapper constructors, which raise ``ValueError`` with the offending
+name and value.  :func:`repro.congest.channels.make_channel` dispatches
+any unknown spec string containing ``(`` or ``:`` here, so every surface
+that accepts a channel name (``Network(channel=)``, ``--channel``, sweep
+task tuples) accepts the grammar for free.
+
+The ``--faults`` flag is a flat ``key=value,...`` shorthand parsed by
+:func:`parse_fault_flags`; channel-level keys compose wrappers around the
+selected base channel and node-level keys (``crash``, ``straggle`` …)
+build a random :class:`~repro.faults.plan.FaultPlan` once the graph is
+known.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..congest.channels import CHANNELS, Channel, make_channel
+from .channels import AdversarialJammer, CorruptingChannel, LossyChannel
+
+__all__ = [
+    "WRAPPERS",
+    "compose_faulty_spec",
+    "format_fault_grammar",
+    "parse_channel_spec",
+    "parse_fault_flags",
+]
+
+#: Registered wrapper kinds, keyed by the grammar head keyword.
+WRAPPERS: Dict[str, type] = {
+    LossyChannel.kind: LossyChannel,
+    CorruptingChannel.kind: CorruptingChannel,
+    AdversarialJammer.kind: AdversarialJammer,
+}
+
+_HEAD_RE = re.compile(r"^([A-Za-z][\w-]*)(?:\((.*)\))?$")
+
+#: ``--faults`` keys that configure channel wrappers, mapped to
+#: ``(wrapper kind, constructor kwarg)``.
+_CHANNEL_KEYS = {
+    "drop": ("lossy", "drop"),
+    "burst": ("lossy", "burst"),
+    "flip": ("corrupt", "flip"),
+    "jam": ("jam", "rate"),
+    "jam_fraction": ("jam", "fraction"),
+    "jam_rounds": ("jam", "rounds"),
+}
+
+#: ``--faults`` keys forwarded to :meth:`FaultPlan.random` once the graph
+#: (and hence the node set) exists.
+_PLAN_KEYS = ("crash", "straggle", "recover_after", "straggle_duration", "horizon")
+
+
+def _split_top_level(text: str, separator: str) -> List[str]:
+    """Split on ``separator`` outside any (), [] or {} nesting."""
+    parts: List[str] = []
+    depth = 0
+    start = 0
+    for i, char in enumerate(text):
+        if char in "([{":
+            depth += 1
+        elif char in ")]}":
+            depth -= 1
+            if depth < 0:
+                raise ValueError(f"unbalanced brackets in spec {text!r}")
+        elif char == separator and depth == 0:
+            parts.append(text[start:i])
+            start = i + 1
+    if depth != 0:
+        raise ValueError(f"unbalanced brackets in spec {text!r}")
+    parts.append(text[start:])
+    return parts
+
+
+def _parse_value(text: str) -> Any:
+    text = text.strip()
+    try:
+        return ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        return text
+
+
+def _parse_params(text: Optional[str], context: str) -> Dict[str, Any]:
+    if not text or not text.strip():
+        return {}
+    params: Dict[str, Any] = {}
+    for item in _split_top_level(text, ","):
+        if not item.strip():
+            continue
+        key, sep, value = item.partition("=")
+        if not sep or not key.strip():
+            raise ValueError(
+                f"malformed parameter {item.strip()!r} in {context!r}: "
+                f"expected key=value"
+            )
+        params[key.strip()] = _parse_value(value)
+    return params
+
+
+def parse_channel_spec(spec: str) -> Channel:
+    """Parse a compound fault-channel spec string into a channel instance.
+
+    Raises ``ValueError`` for syntax errors, unknown wrapper/base names,
+    and out-of-range wrapper parameters.
+    """
+    parts = _split_top_level(spec.strip(), ":")
+    if any(not part.strip() for part in parts):
+        raise ValueError(f"empty segment in channel spec {spec!r}")
+    channel: Optional[Channel] = None
+    # Build innermost (base) first.
+    for depth, part in enumerate(reversed(parts)):
+        part = part.strip()
+        match = _HEAD_RE.match(part)
+        if match is None:
+            raise ValueError(f"malformed channel spec segment {part!r}")
+        kind, params_text = match.group(1), match.group(2)
+        if kind in WRAPPERS:
+            params = _parse_params(params_text, part)
+            try:
+                channel = WRAPPERS[kind](channel, **params)
+            except TypeError as exc:
+                raise ValueError(f"bad parameters for {part!r}: {exc}") from None
+        else:
+            if depth != 0:
+                raise ValueError(
+                    f"base channel {kind!r} must be the last segment of "
+                    f"{spec!r}"
+                )
+            if params_text is not None:
+                raise ValueError(
+                    f"base channel {kind!r} takes no parameters; known "
+                    f"wrappers: {', '.join(sorted(WRAPPERS))}"
+                )
+            if kind not in CHANNELS:
+                known = ", ".join(sorted(CHANNELS))
+                raise ValueError(
+                    f"unknown channel {kind!r}; known channels: {known}; "
+                    f"known fault wrappers: {', '.join(sorted(WRAPPERS))}"
+                )
+            channel = make_channel(kind)
+    assert channel is not None
+    return channel
+
+
+def parse_fault_flags(
+    text: str,
+) -> Tuple[Dict[str, Dict[str, Any]], Dict[str, Any]]:
+    """Parse a ``--faults key=value,...`` string.
+
+    Returns ``(wrapper_params, plan_params)`` where ``wrapper_params``
+    maps wrapper kind -> constructor kwargs (to be composed around the
+    base channel by :func:`compose_faulty_channel`) and ``plan_params``
+    holds :meth:`FaultPlan.random` keyword arguments.  A shared ``seed``
+    key seeds both layers.  Raises ``ValueError`` on unknown keys.
+    """
+    wrapper_params: Dict[str, Dict[str, Any]] = {}
+    plan_params: Dict[str, Any] = {}
+    seed: Optional[int] = None
+    for item in _split_top_level(text, ","):
+        if not item.strip():
+            continue
+        key, sep, value_text = item.partition("=")
+        key = key.strip()
+        if not sep:
+            raise ValueError(f"malformed fault flag {item.strip()!r}: expected key=value")
+        value = _parse_value(value_text)
+        if key == "seed":
+            seed = value
+        elif key in _CHANNEL_KEYS:
+            kind, kwarg = _CHANNEL_KEYS[key]
+            wrapper_params.setdefault(kind, {})[kwarg] = value
+        elif key in _PLAN_KEYS:
+            # Validate eagerly: these otherwise only reach
+            # FaultPlan.random once the graph exists, far past the CLI
+            # boundary where a clean argparse error is still possible.
+            if key in ("crash", "straggle"):
+                if (
+                    not isinstance(value, (int, float))
+                    or not 0.0 <= float(value) <= 1.0
+                ):
+                    raise ValueError(
+                        f"{key} must be a probability in [0, 1], got {value!r}"
+                    )
+            else:  # recover_after, straggle_duration, horizon
+                if not isinstance(value, int) or value < 1:
+                    raise ValueError(
+                        f"{key} must be a positive integer, got {value!r}"
+                    )
+            plan_params[key] = value
+        else:
+            known = sorted({"seed", *_CHANNEL_KEYS, *_PLAN_KEYS})
+            raise ValueError(
+                f"unknown fault key {key!r}; known keys: {', '.join(known)}"
+            )
+    if seed is not None:
+        for params in wrapper_params.values():
+            params.setdefault("seed", seed)
+        if plan_params:
+            plan_params.setdefault("seed", seed)
+    return wrapper_params, plan_params
+
+
+def compose_faulty_spec(
+    channel: Optional[str], wrapper_params: Dict[str, Dict[str, Any]]
+) -> Optional[str]:
+    """Compose a spec *string* wrapping ``channel`` with fault layers.
+
+    Composition order is ``lossy(corrupt(jam(base)))``: the medium jams,
+    reception corrupts, and loss is the outermost erasure.  The result is
+    a plain string so it stays picklable inside ``parallel_map`` task
+    tuples; validation happens when :func:`parse_channel_spec` builds it
+    (callers should do so eagerly to surface errors at the CLI boundary).
+    """
+    if not wrapper_params:
+        return channel
+    segments = []
+    for kind in ("lossy", "corrupt", "jam"):
+        params = wrapper_params.get(kind)
+        if params is not None:
+            text = ",".join(
+                f"{key}={repr(value).replace(' ', '')}"
+                for key, value in sorted(params.items())
+            )
+            segments.append(f"{kind}({text})" if text else kind)
+    base = channel or ("broadcast" if "jam" in wrapper_params else "congest")
+    return ":".join(segments + [base])
+
+
+def format_fault_grammar() -> str:
+    """One-line grammar summary for CLI help text."""
+    return (
+        "wrapper[:wrapper...]:base with wrappers "
+        + ", ".join(sorted(WRAPPERS))
+        + " — e.g. lossy(drop=0.1,seed=7):congest or jam(rate=0.2):broadcast"
+    )

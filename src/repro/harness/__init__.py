@@ -2,13 +2,19 @@
 (E1–E11 theorem experiments, A1–A3 ablations, C1 channel models, D1 dynamic
 churn)."""
 
+from .checkpoint import SweepCheckpoint, run_checkpointed, task_key
 from .experiments import DESCRIPTIONS, REGISTRY, run_all, run_experiment
 from .parallel import (
+    TaskTimeoutError,
+    WorkerCrashError,
     default_jobs,
+    default_resilience,
     parallel_map,
     resolve_jobs,
     set_default_jobs,
+    set_default_resilience,
     use_jobs,
+    use_resilience,
 )
 from .runner import (
     ALGORITHMS,
@@ -32,8 +38,12 @@ __all__ = [
     "RADIO_SAFE_ALGORITHMS",
     "VECTOR_CAPABLE_ALGORITHMS",
     "REGISTRY",
+    "SweepCheckpoint",
     "SweepPoint",
+    "TaskTimeoutError",
+    "WorkerCrashError",
     "default_jobs",
+    "default_resilience",
     "emit_dynamic_record",
     "emit_static_record",
     "format_table",
@@ -46,10 +56,14 @@ __all__ = [
     "run_algorithm",
     "run_dynamic_workload",
     "run_all",
+    "run_checkpointed",
     "run_experiment",
     "section",
     "series",
     "set_default_jobs",
+    "set_default_resilience",
     "sweep",
+    "task_key",
     "use_jobs",
+    "use_resilience",
 ]

@@ -16,7 +16,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--experiment", "-e",
-        help="experiment id (E1..E11, A1..A3); see --list",
+        help="experiment id (E1..E11, A1..A3, C1, D1, F1); see --list",
     )
     parser.add_argument("--all", action="store_true", help="run everything")
     parser.add_argument(
@@ -25,6 +25,14 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--jobs", "-j", type=int, default=None, metavar="N",
         help="worker processes for sweeps (-1 = all cores; default serial)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="K",
+        help="retry each failed/timed-out sweep task up to K more times",
+    )
+    parser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SEC",
+        help="per-task wall-clock budget in seconds (default: unlimited)",
     )
     parser.add_argument(
         "--verbose", "-v", action="count", default=0,
@@ -44,6 +52,18 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     configure_logging(verbose=args.verbose, quiet=args.quiet)
     set_telemetry_path(args.telemetry)
+    if args.retries is not None or args.task_timeout is not None:
+        from .parallel import set_default_resilience
+
+        overrides = {}
+        if args.retries is not None:
+            overrides["retries"] = args.retries
+        if args.task_timeout is not None:
+            overrides["task_timeout"] = args.task_timeout
+        try:
+            set_default_resilience(**overrides)
+        except ValueError as error:
+            parser.error(str(error))
 
     if args.list:
         for name in sorted(REGISTRY):

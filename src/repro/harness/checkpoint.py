@@ -1,0 +1,185 @@
+"""Checkpoint/resume for long sweeps, built on the telemetry JSONL layer.
+
+A sweep is a list of self-describing task tuples, each a deterministic
+pure function of its tuple — which makes exact resume trivial: record
+every finished (or permanently failed) task as one ``kind="sweep-task"``
+JSONL record keyed by the tuple itself, and on resume skip every task
+whose key is already present. The record embeds the task's outcome dict,
+so resumed runs re-read results instead of recomputing them and the final
+aggregate is bit-identical to an uninterrupted run.
+
+Records are appended through :func:`repro.obs.telemetry.emit` (atomic
+``O_APPEND`` line writes), so a sweep killed mid-flight leaves at worst
+one truncated trailing line, which the reader skips. The checkpoint file
+is an ordinary telemetry stream — ``repro.obs.report`` tooling can read
+it — but lives at its own path so interleaved telemetry cannot corrupt
+resume state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..obs.telemetry import emit, make_record, read_records
+
+CHECKPOINT_KIND = "sweep-task"
+
+
+def task_key(task: Tuple) -> str:
+    """Canonical string key for one task tuple.
+
+    JSON over the tuple-as-list: stable across processes and runs (dict
+    parameters keep their insertion order, which the harness constructs
+    deterministically), and human-greppable in the checkpoint file.
+    """
+    return json.dumps(list(task), default=str, separators=(",", ":"))
+
+
+class SweepCheckpoint:
+    """Record-and-skip ledger for one sweep's tasks.
+
+    ``resume=False`` (a fresh run) truncates ``path`` so stale state from
+    an earlier sweep cannot leak in; ``resume=True`` loads every completed
+    and permanently-failed task first. Typical wiring::
+
+        cp = SweepCheckpoint(path, resume=args.resume)
+        todo = [t for t in tasks if not cp.completed(t)]
+        parallel_map(fn, todo, on_result=cp.record_result,
+                     on_failure=cp.record_failure)
+        outcomes = [cp.outcome(t) for t in tasks]
+    """
+
+    def __init__(self, path: str, *, resume: bool = False):
+        self.path = os.fspath(path)
+        self.resume = bool(resume)
+        #: task key -> embedded outcome dict for completed tasks.
+        self._done: Dict[str, Any] = {}
+        #: task key -> error string for tasks that exhausted retries.
+        self._failed: Dict[str, str] = {}
+        if self.resume:
+            self._load()
+        else:
+            directory = os.path.dirname(self.path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            open(self.path, "w", encoding="utf-8").close()
+
+    def _load(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        for record in read_records(self.path):
+            if record.get("kind") != CHECKPOINT_KIND:
+                continue
+            key = record.get("key")
+            if not isinstance(key, str):
+                continue
+            if record.get("status") == "ok":
+                self._done[key] = record.get("outcome")
+                self._failed.pop(key, None)
+            elif record.get("status") == "failed":
+                # A later success supersedes; a later failure re-records.
+                if key not in self._done:
+                    self._failed[key] = str(record.get("error"))
+
+    # -- queries ----------------------------------------------------------
+
+    def completed(self, task: Tuple) -> bool:
+        """Whether this task already has a recorded outcome."""
+        return task_key(task) in self._done
+
+    def outcome(self, task: Tuple) -> Optional[Any]:
+        """The recorded outcome dict, or None (failed / never recorded)."""
+        return self._done.get(task_key(task))
+
+    def __len__(self) -> int:
+        return len(self._done)
+
+    def manifest(self) -> Dict[str, str]:
+        """Task key -> error for every task that exhausted its retries.
+
+        The partial-results manifest: what an interrupted-or-degraded
+        sweep could *not* produce, for the operator to inspect or re-run.
+        """
+        return {
+            key: error for key, error in self._failed.items()
+            if key not in self._done
+        }
+
+    # -- recording (parallel_map callback signatures) ---------------------
+
+    def record_result(self, index: int, task: Tuple, outcome: Any) -> None:
+        """``on_result`` hook: append one ``status="ok"`` record."""
+        key = task_key(task)
+        emit(
+            make_record(
+                CHECKPOINT_KIND, key=key, status="ok", outcome=outcome
+            ),
+            path=self.path,
+        )
+        self._done[key] = outcome
+        self._failed.pop(key, None)
+
+    def record_failure(self, task: Tuple, exc: BaseException) -> None:
+        """``on_failure`` hook: append one ``status="failed"`` record."""
+        key = task_key(task)
+        error = f"{type(exc).__name__}: {exc}"
+        emit(
+            make_record(
+                CHECKPOINT_KIND, key=key, status="failed", error=error
+            ),
+            path=self.path,
+        )
+        self._failed[key] = error
+
+
+def run_checkpointed(
+    fn,
+    tasks,
+    checkpoint: Optional[SweepCheckpoint],
+    **parallel_kwargs,
+) -> List[Optional[Any]]:
+    """:func:`repro.harness.parallel.parallel_map` with skip/replay wiring.
+
+    Without a checkpoint this is a plain ``parallel_map`` call (failures
+    still soften to ``None`` slots when ``on_failure`` is supplied by the
+    caller). With one, already-completed tasks are skipped, fresh results
+    and permanent failures are recorded as they happen (parent-side, so a
+    kill can lose at most in-flight work), and the returned list merges
+    replayed and fresh outcomes in task order — ``None`` marks tasks that
+    exhausted retries, whose errors are in ``checkpoint.manifest()``.
+    """
+    from .parallel import parallel_map
+
+    task_list = list(tasks)
+    if checkpoint is None:
+        return parallel_map(fn, task_list, **parallel_kwargs)
+    todo = [task for task in task_list if not checkpoint.completed(task)]
+    if len(todo) < len(task_list):
+        from ..obs import get_logger
+
+        get_logger("harness.checkpoint").info(
+            "resume: %d/%d tasks already recorded in %s",
+            len(task_list) - len(todo), len(task_list), checkpoint.path,
+        )
+    # The checkpoint's record hooks run first; any caller-supplied hooks
+    # are chained after them (recording must not depend on caller code).
+    caller_on_result = parallel_kwargs.pop("on_result", None)
+    caller_on_failure = parallel_kwargs.pop("on_failure", None)
+
+    def on_result(index, task, outcome):
+        checkpoint.record_result(index, task, outcome)
+        if caller_on_result is not None:
+            caller_on_result(index, task, outcome)
+
+    def on_failure(task, exc):
+        checkpoint.record_failure(task, exc)
+        if caller_on_failure is not None:
+            caller_on_failure(task, exc)
+
+    parallel_map(
+        fn, todo, on_result=on_result, on_failure=on_failure,
+        **parallel_kwargs,
+    )
+    return [checkpoint.outcome(task) for task in task_list]

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from contextlib import ExitStack
 from time import perf_counter
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
@@ -67,15 +68,21 @@ def run_algorithm(
     channel=None,
     instrument=None,
     profile: bool = False,
+    faults=None,
     **kwargs,
 ) -> MISResult:
     """Run one registered algorithm by name.
 
     ``channel`` selects the delivery model (see
-    :data:`repro.congest.CHANNELS`): ``None`` keeps each algorithm's own
-    default (CONGEST for the paper's algorithms and baselines, the radio
-    broadcast channel for ``radio_decay``). ``instrument`` observes every
-    network the run builds (see :mod:`repro.obs`); ``profile=True``
+    :data:`repro.congest.CHANNELS`, plus the fault-wrapper spec grammar of
+    :mod:`repro.faults.spec`, e.g. ``"lossy(drop=0.1):congest"``): ``None``
+    keeps each algorithm's own default (CONGEST for the paper's algorithms
+    and baselines, the radio broadcast channel for ``radio_decay``).
+    ``faults`` injects a node-fault timeline (a
+    :class:`repro.faults.FaultPlan` of crash/straggler events) into every
+    network the run builds, via the ambient
+    :func:`~repro.congest.network.fault_scope`. ``instrument`` observes
+    every network the run builds (see :mod:`repro.obs`); ``profile=True``
     attaches a wall-clock :class:`~repro.obs.Profiler` (composed with any
     ``instrument``) and stores its section tree in
     ``result.details["profile"]``. Extra keyword arguments (``config=``,
@@ -94,9 +101,25 @@ def run_algorithm(
             if instrument is not None
             else profiler
         )
-    if instrument is None:
-        return ALGORITHMS[name](graph, seed, **kwargs)
-    with instrument_scope(instrument):
+    scopes = ExitStack()
+    with scopes:
+        if faults is not None and getattr(faults, "empty", True) is False:
+            from ..congest.network import fault_scope
+
+            # Validate here against the full input graph: sub-networks the
+            # algorithm builds over node subsets legitimately see only
+            # part of the plan (the injector skips absent nodes), so the
+            # loud unknown-node error lives at this boundary.
+            unknown = faults.nodes() - set(graph.nodes)
+            if unknown:
+                raise KeyError(
+                    f"fault plan names nodes not in the graph: "
+                    f"{sorted(unknown, key=repr)[:5]!r}"
+                )
+            scopes.enter_context(fault_scope(faults))
+        if instrument is None:
+            return ALGORITHMS[name](graph, seed, **kwargs)
+        scopes.enter_context(instrument_scope(instrument))
         result = ALGORITHMS[name](graph, seed, **kwargs)
     if profiler is not None:
         result.details["profile"] = profiler.as_dict()
@@ -116,7 +139,9 @@ def _check_radio_safety(name: str, channel) -> None:
 
     if name in RADIO_SAFE_ALGORITHMS:
         return
-    if isinstance(make_channel(channel), BroadcastChannel):
+    # ``unwrapped()`` sees through fault wrappers: ``lossy(...):broadcast``
+    # is still a radio medium and still unsound for point-to-point code.
+    if isinstance(make_channel(channel).unwrapped(), BroadcastChannel):
         raise ValueError(
             f"algorithm {name!r} is point-to-point and unsound on the "
             f"shared radio medium; use one of "
@@ -230,12 +255,24 @@ def measure(name: str, graph: nx.Graph, seed: int = 0, **kwargs) -> Dict[str, fl
 
 
 def _measure_task(task: Tuple) -> Dict[str, float]:
-    """Worker for :func:`measure_many`: regenerate the graph, then measure."""
+    """Worker for :func:`measure_many`: regenerate the graph, then measure.
+
+    The optional sixth element is a node-fault spec: either a
+    :class:`repro.faults.FaultPlan` or a picklable dict of
+    :meth:`FaultPlan.random` keyword arguments, instantiated here against
+    the regenerated graph's node set so the task tuple stays a plain
+    value.
+    """
     algorithm, family, n, seed, *rest = task
     channel = rest[0] if rest else None
+    faults = rest[1] if len(rest) > 1 else None
     graph = make_family(family, n, seed=seed)
+    if isinstance(faults, dict):
+        from ..faults import FaultPlan
+
+        faults = FaultPlan.random(graph.nodes, **faults)
     return measure(
-        algorithm, graph, seed=seed, channel=channel,
+        algorithm, graph, seed=seed, channel=channel, faults=faults,
         telemetry_extra={"family": family},
     )
 
@@ -246,20 +283,34 @@ def measure_many(
     n_jobs: Optional[int] = None,
     initializer=None,
     initargs: tuple = (),
+    checkpoint=None,
+    retries: Optional[int] = None,
+    task_timeout: Optional[float] = None,
 ) -> List[Dict[str, float]]:
-    """Measure many (algorithm, family, n, seed[, channel]) cells,
-    optionally in parallel.
+    """Measure many (algorithm, family, n, seed[, channel[, faults]])
+    cells, optionally in parallel.
 
     Each task tuple fully describes one deterministic simulation, so the
     results are identical (and identically ordered) for any ``n_jobs``.
     The optional fifth element is a channel name from
-    :data:`repro.congest.CHANNELS` (``None`` = the algorithm's default).
-    ``initializer``/``initargs`` run once per worker (and once in-process
-    when serial) for ambient switches like a forced engine mode.
+    :data:`repro.congest.CHANNELS` or a fault-wrapper spec string
+    (``"lossy(drop=0.1):congest"``); the optional sixth is a dict of
+    :meth:`repro.faults.FaultPlan.random` keyword arguments (``None`` =
+    no node faults). ``initializer``/``initargs`` run once per worker
+    (and once in-process when serial) for ambient switches like a forced
+    engine mode. ``checkpoint`` (a
+    :class:`repro.harness.checkpoint.SweepCheckpoint`) records each
+    finished task and skips already-recorded ones on resume; failed tasks
+    then become ``None`` slots instead of raising.
+    ``retries``/``task_timeout`` configure per-task resilience (see
+    :func:`repro.harness.parallel.parallel_map`).
     """
-    return parallel_map(
-        _measure_task, tasks, n_jobs=n_jobs,
+    from .checkpoint import run_checkpointed
+
+    return run_checkpointed(
+        _measure_task, tasks, checkpoint, n_jobs=n_jobs,
         initializer=initializer, initargs=initargs,
+        retries=retries, task_timeout=task_timeout,
     )
 
 

@@ -8,7 +8,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..analysis import Summary, aggregate_trials
 from ..graphs import make_family
 from ..obs import get_logger
-from .parallel import parallel_map
+from .checkpoint import SweepCheckpoint, run_checkpointed, task_key
 from .runner import measure
 
 _log = get_logger("harness.sweep")
@@ -24,6 +24,13 @@ class SweepPoint:
     seeds: int
     summaries: Dict[str, Summary] = field(default_factory=dict)
     channel: Optional[str] = None
+    #: Trials that actually completed (== ``seeds`` unless a checkpointed
+    #: sweep recorded permanent failures for some of this cell's tasks).
+    completed: int = 0
+
+    def __post_init__(self):
+        if not self.completed:
+            self.completed = self.seeds
 
     def mean(self, key: str) -> float:
         return self.summaries[key].mean
@@ -32,14 +39,22 @@ class SweepPoint:
 def _sweep_task(task: Tuple) -> Dict[str, float]:
     """One sweep cell trial; module-level so process pools can pickle it.
 
-    The graph is regenerated from (family, n, seed[, channel]) inside the
-    worker, so parallel execution is bit-identical to the serial loop.
+    The graph is regenerated from (family, n, seed[, channel[, faults]])
+    inside the worker, so parallel execution is bit-identical to the
+    serial loop. ``channel`` may be a fault-wrapper spec string
+    (``"lossy(drop=0.1):congest"``); ``faults`` is a picklable dict of
+    :meth:`repro.faults.FaultPlan.random` keyword arguments.
     """
     algorithm, family, n, seed, *rest = task
     channel = rest[0] if rest else None
+    faults = rest[1] if len(rest) > 1 else None
     graph = make_family(family, n, seed=seed)
+    if isinstance(faults, dict):
+        from ..faults import FaultPlan
+
+        faults = FaultPlan.random(graph.nodes, **faults)
     return measure(
-        algorithm, graph, seed=seed, channel=channel,
+        algorithm, graph, seed=seed, channel=channel, faults=faults,
         telemetry_extra={"family": family},
     )
 
@@ -53,6 +68,11 @@ def sweep(
     seed_base: int = 0,
     n_jobs: Optional[int] = None,
     channel: Optional[str] = None,
+    faults: Optional[Dict] = None,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+    retries: Optional[int] = None,
+    task_timeout: Optional[float] = None,
 ) -> List[SweepPoint]:
     """Run every algorithm on every size with several seeds.
 
@@ -62,11 +82,27 @@ def sweep(
     :func:`repro.harness.parallel.set_default_jobs`) the trials run on a
     process pool; results are collected in task order and are identical to
     a serial run.
+
+    ``channel`` accepts fault-wrapper spec strings alongside plain channel
+    names; ``faults`` is an optional dict of
+    :meth:`repro.faults.FaultPlan.random` keyword arguments applied to
+    every trial (the plan is instantiated per-graph inside the worker).
+
+    ``checkpoint`` names a JSONL file recording each finished task;
+    ``resume=True`` skips tasks already recorded there, so an interrupted
+    sweep picks up exactly where it stopped and produces the identical
+    final aggregate. ``retries``/``task_timeout`` configure per-task
+    resilience (see :func:`repro.harness.parallel.parallel_map`); a task
+    that exhausts its retries under a checkpoint is recorded in the
+    partial-results manifest and its cell aggregates the surviving
+    trials — unless a whole cell died, which raises.
     """
     if not algorithms or not sizes or seeds < 1:
         raise ValueError("need at least one algorithm, size, and seed")
     tasks = [
-        (algorithm, family, n, seed_base + trial, channel)
+        (algorithm, family, n, seed_base + trial, channel, faults)
+        if faults is not None
+        else (algorithm, family, n, seed_base + trial, channel)
         for algorithm in algorithms
         for n in sizes
         for trial in range(seeds)
@@ -75,13 +111,34 @@ def sweep(
         "sweep: %d cells (%s × %s × %d seeds, family=%s)",
         len(tasks), list(algorithms), list(sizes), seeds, family,
     )
-    outcomes = parallel_map(_sweep_task, tasks, n_jobs=n_jobs)
+    ledger = (
+        SweepCheckpoint(checkpoint, resume=resume)
+        if checkpoint is not None else None
+    )
+    outcomes = run_checkpointed(
+        _sweep_task, tasks, ledger,
+        n_jobs=n_jobs, retries=retries, task_timeout=task_timeout,
+    )
     points: List[SweepPoint] = []
     cursor = 0
     for algorithm in algorithms:
         for n in sizes:
-            trials = outcomes[cursor:cursor + seeds]
+            cell_tasks = tasks[cursor:cursor + seeds]
+            trials = [
+                outcome for outcome in outcomes[cursor:cursor + seeds]
+                if outcome is not None
+            ]
             cursor += seeds
+            if not trials:
+                manifest = ledger.manifest() if ledger is not None else {}
+                errors = [
+                    manifest.get(task_key(task), "no outcome recorded")
+                    for task in cell_tasks
+                ]
+                raise RuntimeError(
+                    f"sweep cell ({algorithm}, {family}, n={n}) has zero "
+                    f"completed trials; failures: {errors}"
+                )
             points.append(
                 SweepPoint(
                     algorithm=algorithm,
@@ -90,8 +147,14 @@ def sweep(
                     seeds=seeds,
                     summaries=aggregate_trials(trials),
                     channel=channel,
+                    completed=len(trials),
                 )
             )
+    if ledger is not None and ledger.manifest():
+        _log.warning(
+            "sweep finished with %d permanently failed tasks; see "
+            "manifest in %s", len(ledger.manifest()), ledger.path,
+        )
     return points
 
 

@@ -81,7 +81,7 @@ class TestExperimentRegistry:
         expected = (
             {f"E{i}" for i in range(1, 12)}
             | {"A1", "A2", "A3"}
-            | {"C1", "D1"}
+            | {"C1", "D1", "F1"}
         )
         assert expected == set(REGISTRY)
         assert expected == set(DESCRIPTIONS)

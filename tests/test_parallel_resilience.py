@@ -1,0 +1,226 @@
+"""Resilient ``parallel_map``: timeouts, retries, and crash recovery.
+
+The regression suite for the harness's fault tolerance:
+
+* a worker calling ``os._exit`` (stand-in for segfault/OOM-kill) must
+  break only its own chunk — the pool is rebuilt, surviving tasks finish,
+  and nothing hangs or leaks orphan processes;
+* per-task wall-clock timeouts raise :class:`TaskTimeoutError` on both
+  the serial and pool paths;
+* bounded retries with exponential backoff re-run failed chunks, and
+  ``on_failure`` converts exhausted tasks into ``None`` slots;
+* ``KeyboardInterrupt`` tears the pool down promptly (no orphans).
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.harness.parallel import (
+    TaskTimeoutError,
+    WorkerCrashError,
+    default_resilience,
+    parallel_map,
+    set_default_resilience,
+    use_resilience,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _crash_on_five(x):
+    if x == 5:
+        os._exit(13)  # bypasses all exception handling, like a segfault
+    return x
+
+
+def _sleep_on_two(x):
+    if x == 2:
+        time.sleep(30)
+    return x
+
+
+def _always_fails(x):
+    raise RuntimeError(f"boom {x}")
+
+
+# -- worker crash recovery ------------------------------------------------
+
+def test_dying_worker_does_not_hang_the_pool():
+    failures = []
+    started = time.monotonic()
+    results = parallel_map(
+        _crash_on_five, list(range(8)), n_jobs=2, retries=1, backoff=0.05,
+        on_failure=lambda task, exc: failures.append((task, exc)),
+    )
+    elapsed = time.monotonic() - started
+    assert elapsed < 30, "pool hung on a dead worker"
+    assert results[5] is None
+    assert [results[i] for i in range(8) if i != 5] == [
+        i for i in range(8) if i != 5
+    ]
+    assert any(isinstance(exc, WorkerCrashError) for _, exc in failures)
+
+
+def test_dying_worker_raises_without_failure_handler():
+    with pytest.raises(WorkerCrashError):
+        parallel_map(
+            _crash_on_five, list(range(8)), n_jobs=2, retries=0, backoff=0.01
+        )
+
+
+def test_crash_failure_consumes_retries_then_reports():
+    # Three tasks so the pool path engages (a single task would clamp to
+    # the serial path, where os._exit would take the test process down).
+    failures = []
+    results = parallel_map(
+        _crash_on_five, [4, 5, 6], n_jobs=2, retries=2, backoff=0.01,
+        on_failure=lambda task, exc: failures.append(exc),
+    )
+    assert results == [4, None, 6]
+    assert len(failures) == 1
+    assert isinstance(failures[0], WorkerCrashError)
+
+
+# -- timeouts -------------------------------------------------------------
+
+@pytest.mark.skipif(
+    not hasattr(signal, "SIGALRM"), reason="needs SIGALRM"
+)
+def test_serial_timeout_raises():
+    with pytest.raises(TaskTimeoutError):
+        parallel_map(_sleep_on_two, [0, 1, 2], task_timeout=0.2)
+
+
+@pytest.mark.skipif(
+    not hasattr(signal, "SIGALRM"), reason="needs SIGALRM"
+)
+def test_pool_timeout_soft_fails_with_handler():
+    failures = []
+    results = parallel_map(
+        _sleep_on_two, [0, 1, 2, 3], n_jobs=2, task_timeout=0.5,
+        backoff=0.01,
+        on_failure=lambda task, exc: failures.append((task, exc)),
+    )
+    assert results == [0, 1, None, 3]
+    assert len(failures) == 1
+    assert isinstance(failures[0][1], TaskTimeoutError)
+
+
+# -- retries --------------------------------------------------------------
+
+def test_exhausted_retries_propagate_without_handler():
+    with pytest.raises(RuntimeError, match="boom"):
+        parallel_map(_always_fails, [1], retries=1, backoff=0.01)
+
+
+def test_exhausted_retries_soften_with_handler():
+    failures = []
+    results = parallel_map(
+        _always_fails, [1, 2], n_jobs=2, retries=1, backoff=0.01,
+        on_failure=lambda task, exc: failures.append(task),
+    )
+    assert results == [None, None]
+    assert sorted(failures) == [1, 2]
+
+
+def test_results_keep_task_order_under_retries():
+    # Chunks complete out of order once retries delay some of them; the
+    # returned list must still be in task order.
+    failures = []
+    results = parallel_map(
+        _crash_on_five, list(range(12)), n_jobs=3, chunksize=2, retries=1,
+        backoff=0.05,
+        on_failure=lambda task, exc: failures.append(task),
+    )
+    for i in range(12):
+        if results[i] is not None:
+            assert results[i] == i
+    # task 5's chunk is (4, 5): both slots fail together (the chunk is
+    # the retry unit) — everything else must have completed.
+    assert set(failures) <= {4, 5}
+    assert all(results[i] == i for i in range(12) if i not in (4, 5))
+
+
+def test_on_result_fires_for_every_completed_task():
+    seen = {}
+    parallel_map(
+        _square, list(range(9)), n_jobs=2, chunksize=2,
+        on_result=lambda index, task, value: seen.__setitem__(index, value),
+    )
+    assert seen == {i: i * i for i in range(9)}
+
+
+# -- validation and defaults ----------------------------------------------
+
+def test_resilience_validation():
+    with pytest.raises(ValueError):
+        parallel_map(_square, [1], retries=-1)
+    with pytest.raises(ValueError):
+        parallel_map(_square, [1], task_timeout=0)
+    with pytest.raises(ValueError):
+        parallel_map(_square, [1], backoff=-1)
+    with pytest.raises(ValueError):
+        set_default_resilience(retries=-2)
+
+
+def test_resilience_defaults_roundtrip():
+    base = default_resilience()
+    with use_resilience(retries=4, task_timeout=7.5, backoff=0.1):
+        assert default_resilience() == (4, 7.5, 0.1)
+    assert default_resilience() == base
+
+
+# -- interrupt cleanup ----------------------------------------------------
+
+_INTERRUPT_SCRIPT = """
+import os, sys, time
+sys.path.insert(0, {src!r})
+from repro.harness.parallel import parallel_map
+
+def slow(x):
+    time.sleep(60)
+    return x
+
+print("READY", os.getpid(), flush=True)
+try:
+    parallel_map(slow, list(range(4)), n_jobs=2)
+except KeyboardInterrupt:
+    print("INTERRUPTED", flush=True)
+    sys.exit(42)
+"""
+
+
+@pytest.mark.skipif(
+    not hasattr(signal, "SIGINT") or os.name == "nt",
+    reason="needs POSIX signals",
+)
+def test_keyboard_interrupt_terminates_workers_promptly():
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    proc = subprocess.Popen(
+        [sys.executable, "-c", _INTERRUPT_SCRIPT.format(src=os.path.abspath(src))],
+        stdout=subprocess.PIPE,
+        text=True,
+        start_new_session=True,  # isolate: our SIGINT must not hit pytest
+    )
+    try:
+        line = proc.stdout.readline()
+        assert line.startswith("READY")
+        time.sleep(1.0)  # let the pool spin up workers
+        os.killpg(proc.pid, signal.SIGINT)
+        started = time.monotonic()
+        out, _ = proc.communicate(timeout=15)
+        elapsed = time.monotonic() - started
+        assert "INTERRUPTED" in out
+        assert proc.returncode == 42
+        assert elapsed < 10, "interrupt did not tear the pool down promptly"
+    finally:
+        if proc.poll() is None:
+            os.killpg(proc.pid, signal.SIGKILL)
+            proc.wait()
