@@ -28,8 +28,10 @@ from __future__ import annotations
 from typing import List, Optional, Set, Tuple
 
 import networkx as nx
+import numpy as np
 
 from ..congest import EnergyLedger, Network, NodeProgram
+from ..congest.vectorized import VectorRound
 from ..result import MISResult
 
 _MARK = 0
@@ -141,6 +143,201 @@ class GhaffariProgram(NodeProgram):
             ctx.output["in_mis"] = self.status[0] == JOINED
             ctx.output["status"] = tuple(self.status)
             ctx.halt()
+
+    @classmethod
+    def vector_round(cls, network):
+        """Engine capability hook: the mark/join iteration vectorizes
+        whole-network when every node runs the same ``(iterations,
+        executions)`` configuration (the kernel stores per-execution state
+        as ``(n, executions)`` columns, so the shape must be uniform)."""
+        programs = [network.programs[node] for node in network.graph.nodes]
+        first = programs[0]
+        signature = (first.iterations, first.executions)
+        for program in programs[1:]:
+            if (program.iterations, program.executions) != signature:
+                return None
+        return _GhaffariVectorRound(network)
+
+
+class _GhaffariVectorRound(VectorRound):
+    """Whole-network mark/join rounds over ``(n, executions)`` columns.
+
+    All ``executions`` parallel instances advance in one pass; the per-node
+    RNG draw order is preserved because the scalar program draws once per
+    ACTIVE execution in ascending execution order, which is exactly the
+    order of the kernel's per-execution ``draws.take`` calls.
+
+    Bit-identity notes mirroring the scalar receive rules:
+
+    * a node broadcasts its mark (join) bit-vector only when *some* bit is
+      set, and every payload is a tuple of ``executions`` bools — a
+      constant 3·E bits on priced channels;
+    * ``_marked_neighbor_execs`` is replaced wholesale at every MARK
+      receive (even when empty), so the ``saw_marked`` columns of live rows
+      are overwritten each MARK round rather than OR-ed;
+    * removal at JOIN checks the receiver's status *after* its own joins
+      this round, so the column updates run joins-then-removals;
+    * the finish check runs for every live node each JOIN round (the scalar
+      ``on_receive`` fires even with an empty inbox).
+    """
+
+    supports_schedules = False  # always-on: the program never schedules
+    supports_edge_faults = True
+
+    def load(self) -> None:
+        arrays = self.arrays
+        network = self.network
+        n = arrays.n
+        first = network.programs[arrays.nodes[0]]
+        executions = first.executions
+        self.executions = executions
+        self.iterations = first.iterations
+        self.status = np.zeros((n, executions), dtype=np.int8)
+        self.desire = np.zeros((n, executions), dtype=np.float64)
+        self.marked = np.zeros((n, executions), dtype=bool)
+        self.join_round = np.full((n, executions), -1, dtype=np.int64)
+        self.saw_marked = np.zeros((n, executions), dtype=bool)
+        self.alive = np.zeros(n, dtype=bool)
+        always_on = network._always_on
+        for i, node in enumerate(arrays.nodes):
+            program = network.programs[node]
+            self.alive[i] = node in always_on
+            self.status[i] = program.status
+            self.desire[i] = program.desire
+            self.marked[i] = program.marked
+            for e, joined_at in enumerate(program.join_round):
+                if joined_at is not None:
+                    self.join_round[i, e] = joined_at
+            for e in program._marked_neighbor_execs:
+                if e < executions:
+                    self.saw_marked[i, e] = True
+        self._payload_bits = (
+            np.full(n, 3 * executions, dtype=np.int64) if self.priced else None
+        )
+        # Live-neighbor counts, maintained incrementally: live rows only
+        # ever leave (finish at a JOIN round), so one sparse CSR pass over
+        # each round's departures replaces the per-round dense recount.
+        self._alive_neighbors = arrays.neighbor_count(self.alive)
+
+    def flush_state(self) -> None:
+        network = self.network
+        executions = self.executions
+        # ``_marked_neighbor_execs`` only matters when the next scalar round
+        # is a JOIN (it is replaced wholesale at the next MARK receive);
+        # halted nodes keep their stale sets, exactly like the scalar path.
+        rebuild_inbox = (network.round_index + 1) % 2 == _JOIN
+        for i, node in enumerate(self.arrays.nodes):
+            program = network.programs[node]
+            program.status = [int(s) for s in self.status[i]]
+            program.desire = [float(d) for d in self.desire[i]]
+            program.marked = [bool(m) for m in self.marked[i]]
+            program.join_round = [
+                int(r) if r >= 0 else None for r in self.join_round[i]
+            ]
+            if rebuild_inbox and self.alive[i]:
+                program._marked_neighbor_execs = {
+                    e for e in range(executions) if self.saw_marked[i, e]
+                }
+
+    # ------------------------------------------------------------------
+    def step_round(self) -> None:
+        alive = self.alive
+        self.charge_awake(alive)
+        keep = self.fault_keep() if self.faults is not None else None
+        if self.network.round_index % 2 == _MARK:
+            self._mark_round(alive, keep)
+        else:
+            self._join_round(alive, keep)
+
+    def _mark_round(self, alive: np.ndarray, keep) -> None:
+        arrays = self.arrays
+        executions = self.executions
+        marked = self.marked
+        # The scalar program reassigns every execution's mark each MARK
+        # round (inactive executions to False); halted rows keep theirs.
+        marked[alive] = False
+        active = alive[:, None] & (self.status == ACTIVE)
+        for e in range(executions):
+            idx = np.nonzero(active[:, e])[0]
+            if idx.size:
+                marked[idx, e] = self.draws.take(idx) < self.desire[idx, e]
+        senders = alive & marked.any(axis=1)
+        if keep is None:
+            self.count_broadcasts(
+                senders, alive, self._payload_bits,
+                alive_neighbors=self._alive_neighbors,
+            )
+        else:
+            self.count_broadcasts(
+                senders, alive, self._payload_bits, keep=keep
+            )
+        # A mark bit for execution e arrives from any *live* neighbor with
+        # that bit set (marked implies broadcast, but halted rows keep
+        # stale mark bits and never send); live receivers replace their
+        # indicator wholesale.  A faulted slot destroys the whole payload
+        # (the scalar wrapper drops entire messages, never single bits).
+        saw = self.saw_marked
+        for e in range(executions):
+            sent = marked[:, e] & alive
+            if keep is None:
+                heard = arrays.neighbor_count(sent) > 0
+            else:
+                heard = arrays.masked_neighbor_count(sent, keep) > 0
+            saw[alive, e] = heard[alive]
+
+    def _join_round(self, alive: np.ndarray, keep) -> None:
+        arrays = self.arrays
+        executions = self.executions
+        active = alive[:, None] & (self.status == ACTIVE)
+        saw = self.saw_marked
+        halve = active & saw
+        double = active & ~saw
+        self.desire[halve] = np.maximum(
+            _MIN_DESIRE, self.desire[halve] / 2.0
+        )
+        self.desire[double] = np.minimum(0.5, self.desire[double] * 2.0)
+        joined_now = active & self.marked & ~saw
+        iteration = self.network.round_index // 2
+        self.status[joined_now] = JOINED
+        self.join_round[joined_now] = iteration
+        senders = alive & joined_now.any(axis=1)
+        if keep is None:
+            self.count_broadcasts(
+                senders, alive, self._payload_bits,
+                alive_neighbors=self._alive_neighbors,
+            )
+        else:
+            self.count_broadcasts(
+                senders, alive, self._payload_bits, keep=keep
+            )
+        for e in range(executions):
+            if keep is None:
+                heard = arrays.neighbor_count(joined_now[:, e]) > 0
+            else:
+                heard = (
+                    arrays.masked_neighbor_count(joined_now[:, e], keep) > 0
+                )
+            removed = alive & heard & (self.status[:, e] == ACTIVE)
+            self.status[removed, e] = REMOVED
+        out_of_time = (
+            self.iterations is not None and iteration + 1 >= self.iterations
+        )
+        if out_of_time:
+            finish = alive.copy()
+        else:
+            finish = alive & ~(self.status == ACTIVE).any(axis=1)
+        finish_idx = np.nonzero(finish)[0]
+        if finish_idx.size:
+            status = self.status
+            for i in finish_idx:
+                output = self.output_of(i)
+                output["in_mis"] = bool(status[i, 0] == JOINED)
+                output["status"] = tuple(int(s) for s in status[i])
+            alive[finish_idx] = False
+            self._alive_neighbors = (
+                self._alive_neighbors - arrays.neighbor_count(finish)
+            )
+            self.halt_ranks(finish_idx)
 
 
 def ghaffari_mis(

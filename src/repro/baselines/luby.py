@@ -179,8 +179,12 @@ class _LubyVectorRound(VectorRound):
             self.marked[i] = program.marked
             self.pending[i] = program.pending_retirement
         if self.faults is None:
-            # Active degree at the current cycle's MARK == live-neighbor
-            # count (see class docstring); refreshed at every MARK round.
+            # Live-neighbor count, maintained *incrementally* from here on:
+            # RESOLVE subtracts the winners' contributions and RETIRE the
+            # retirees', so no later round pays a dense CSR re-count.  This
+            # snapshot is correct at any engagement boundary — between MARK
+            # and RESOLVE nobody has died since MARK, and between RESOLVE
+            # and RETIRE the winners are already out of ``alive``.
             self.active_deg = arrays.neighbor_count(self.alive)
         else:
             self._load_beliefs()
@@ -285,9 +289,12 @@ class _LubyVectorRound(VectorRound):
             degree = np.bincount(
                 arrays.edge_source[self.edge_live], minlength=arrays.n
             ).astype(np.int64, copy=False)
+            self.active_deg = degree
         else:
-            degree = arrays.neighbor_count(alive)
-        self.active_deg = degree
+            # Incrementally maintained since load: equals
+            # ``neighbor_count(alive)`` because RESOLVE/RETIRE subtracted
+            # every death's contribution as it happened.
+            degree = self.active_deg
         active = alive & (self.state == 0)
         marked = np.zeros(arrays.n, dtype=bool)
         marked[active & (degree == 0)] = True  # isolated: joins unopposed
@@ -350,6 +357,9 @@ class _LubyVectorRound(VectorRound):
                 winners, alive, one_bit, alive_neighbors=degree
             )
             joined_nearby = arrays.neighbor_count(winners)
+            # The winners halt at the end of this round: retire their
+            # contribution now so the count stays live.
+            self.active_deg = degree - joined_nearby
         # Receive phase: non-winners that heard a join retire their link
         # and (if still competing) schedule their retirement announcement.
         heard = alive & ~winners & (joined_nearby > 0)
@@ -374,7 +384,14 @@ class _LubyVectorRound(VectorRound):
                 heard_slots = heard_slots & retire_keep
             self.edge_live[heard_slots] = False
         else:
-            self.count_broadcasts(retirees, alive, one_bit)
+            # ``active_deg`` was decremented by the winners at RESOLVE, so
+            # it equals this round's live-neighbor count — saving
+            # ``count_broadcasts`` its dense alive re-count; then the
+            # retirees' own contributions come off for the next MARK.
+            self.count_broadcasts(
+                retirees, alive, one_bit, alive_neighbors=self.active_deg
+            )
+            self.active_deg = self.active_deg - arrays.neighbor_count(retirees)
         retiree_idx = np.nonzero(retirees)[0]
         alive[retiree_idx] = False
         self.halt_ranks(retiree_idx)

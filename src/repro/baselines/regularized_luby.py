@@ -143,7 +143,10 @@ class _RegularizedLubyVectorRound(VectorRound):
             self.joined[i] = program.joined
         self._template = next(iter(network.programs.values()))
         # Valid at any engagement boundary: nobody halts between a MARK
-        # and its JOIN, so live-neighbor counts are cycle-stable.
+        # and its JOIN, so live-neighbor counts are cycle-stable.  From
+        # here the count is maintained *incrementally* — JOIN subtracts
+        # each halting node's contribution — so no round re-scans the
+        # dense alive mask.
         self._alive_neighbors = arrays.neighbor_count(self.alive)
 
     def flush_state(self) -> None:
@@ -172,9 +175,8 @@ class _RegularizedLubyVectorRound(VectorRound):
             marked[drawers] = self.draws.take(drawers) < probability
         self.marked = marked
         # Nobody halts between a MARK and its JOIN (deaths happen in the
-        # JOIN receive phase), so this cycle's live-neighbor counts price
-        # both sub-rounds' deliveries.
-        self._alive_neighbors = arrays.neighbor_count(alive)
+        # JOIN receive phase), so the incrementally-maintained
+        # ``_alive_neighbors`` prices both sub-rounds' deliveries.
         one_bit = np.ones(arrays.n, dtype=np.int64) if self.priced else None
         keep = self.fault_keep() if self.faults is not None else None
         if keep is not None:
@@ -206,7 +208,13 @@ class _RegularizedLubyVectorRound(VectorRound):
             )
             heard_joins = arrays.neighbor_count(winners)
         dominated = alive & ~winners & (heard_joins > 0)
-        halting = np.nonzero(winners | dominated)[0]
+        departing = winners | dominated
+        # Retire the departing nodes' contributions so the maintained
+        # live-neighbor count stays exact for the next cycle.
+        self._alive_neighbors = (
+            self._alive_neighbors - arrays.neighbor_count(departing)
+        )
+        halting = np.nonzero(departing)[0]
         alive[halting] = False
         self.halt_ranks(halting)
 

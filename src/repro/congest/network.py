@@ -318,6 +318,30 @@ class Network:
                 if not entry:
                     del calendar[wake_round]
 
+    def _halt_many(self, halting) -> None:
+        """Halt every node in ``halting`` — exactly ``Context.halt`` per
+        node, with the per-node method dispatch and schedule prune inlined
+        into one pass (the vectorized engine's bulk-halt path; a dense
+        JOIN round can retire thousands of nodes at once).
+        """
+        contexts = self.contexts
+        always_on = self._always_on
+        schedules = self._node_schedules
+        calendar = self._wake_calendar
+        for node in halting:
+            contexts[node]._halted = True
+            if node in always_on:
+                always_on.discard(node)
+                self._always_view = None
+            rounds = schedules.pop(node, None)
+            if rounds:
+                for wake_round in rounds:
+                    entry = calendar.get(wake_round)
+                    if entry is not None:
+                        entry.discard(node)
+                        if not entry:
+                            del calendar[wake_round]
+
     def _always_on_view(self) -> Tuple[List[int], Set[int]]:
         view = self._always_view
         if view is None:
@@ -556,25 +580,46 @@ class Network:
         return _ENGINE_MODE
 
     def _try_vector_step(self, runner) -> bool:
-        """Take one vectorized round if the dense regime is engaged.
+        """Take one vectorized round if the current regime allows it.
 
-        Vector rounds model a pure always-on population: any scheduled
+        Plain runners model a pure always-on population: any scheduled
         wake anywhere in the future falls back to scalar steps until the
-        calendar drains — in which case any loaded runner state is flushed
-        first, so the scalar step sees fresh program instances.  Shared by
-        :meth:`run` and :meth:`run_rounds` so the engagement gate and the
-        flush ordering cannot diverge between the two loops.
+        calendar drains.  Schedule-aware runners
+        (``VectorRound.supports_schedules``) additionally execute rounds
+        whose active set comes from the wake calendar — the gate only
+        requires that *this* round has someone awake (an always-on node,
+        or a live calendar entry at ``round_index + 1``); the idle gaps
+        between scheduled wakes are fast-forwarded by the callers, which
+        retry the vector step after the skip.  Shared by :meth:`run` and
+        :meth:`run_rounds` so the engagement gate cannot diverge between
+        the two loops; flushing back to scalar state is the callers'
+        business (:meth:`_flush_runner`, immediately before a scalar
+        ``step``), so a schedule-aware runner is not thrashed through
+        load/flush cycles at every wake gap.
         """
-        if (
-            runner is not None
-            and self._always_on
-            and not self._wake_calendar
+        if runner is None:
+            return False
+        if self._always_on and not self._wake_calendar:
+            runner.step()
+            return True
+        if runner.supports_schedules and self._wake_calendar and (
+            self._always_on or (self.round_index + 1) in self._wake_calendar
         ):
             runner.step()
             return True
+        return False
+
+    @staticmethod
+    def _flush_runner(runner) -> None:
+        """Flush a loaded vector runner back to program instances.
+
+        Must run immediately before any scalar :meth:`step` while a
+        runner may hold live state — the scalar loop reads program
+        attributes and per-node RNG streams, both of which the runner
+        owns while loaded.
+        """
         if runner is not None and runner.loaded:
             runner.flush()
-        return False
 
     def run(
         self,
@@ -612,6 +657,7 @@ class Network:
                 if self._try_vector_step(runner):
                     continue
                 if use_legacy or self._always_on:
+                    self._flush_runner(runner)
                     self.step()
                     continue
                 next_wake = self._next_wake_round()
@@ -623,6 +669,9 @@ class Network:
                         f"simulation exceeded {max_rounds} rounds"
                     )
                 self._skip_idle_to(next_wake - 1)
+                if self._try_vector_step(runner):
+                    continue
+                self._flush_runner(runner)
                 self.step()
         finally:
             if runner is not None:
@@ -653,6 +702,7 @@ class Network:
                 if self._try_vector_step(runner):
                     continue
                 if use_legacy or self._always_on:
+                    self._flush_runner(runner)
                     self.step()
                     continue
                 next_wake = self._next_wake_round()
@@ -660,6 +710,9 @@ class Network:
                     self._skip_idle_to(end)
                     break
                 self._skip_idle_to(next_wake - 1)
+                if self._try_vector_step(runner):
+                    continue
+                self._flush_runner(runner)
                 self.step()
         finally:
             if runner is not None:

@@ -182,13 +182,21 @@ class NodeProgram:
     """
 
     #: Vectorized-round capability hook. A program class whose dense
-    #: always-on rounds can be executed whole-network at a time overrides
-    #: this with a factory ``(network) -> repro.congest.vectorized
-    #: .VectorRound`` (typically a classmethod). ``None`` means the engine
-    #: always uses the scalar per-node loops. Declaring the capability is a
-    #: promise of *bit-identical* semantics — outputs, metrics, ledger, and
-    #: per-node RNG draw order — which ``tests/test_engine_equivalence.py``
-    #: enforces for every registered algorithm.
+    #: rounds can be executed whole-network at a time overrides this with a
+    #: factory ``(network) -> repro.congest.vectorized.VectorRound``
+    #: (typically a classmethod); the factory may inspect the network and
+    #: return ``None`` to decline (e.g. heterogeneous per-node parameters
+    #: the kernel cannot flatten). ``None`` here means the engine always
+    #: uses the scalar per-node loops. Runners come in two flavours:
+    #: always-on kernels (engaged only while the wake calendar is empty)
+    #: and schedule-aware kernels (``supports_schedules = True``), which
+    #: assemble each round's active set from the calendar via
+    #: :meth:`VectorRound.pop_scheduled_awake` and so also cover
+    #: sleep-scheduled phases like the paper's Phase I. Declaring the
+    #: capability is a promise of *bit-identical* semantics — outputs,
+    #: metrics, ledger, traces, and per-node RNG draw order — which
+    #: ``tests/test_engine_equivalence.py`` enforces for every registered
+    #: algorithm.
     vector_round = None
 
     def on_start(self, ctx: Context) -> None:

@@ -38,8 +38,10 @@ from __future__ import annotations
 from typing import Optional, Set
 
 import networkx as nx
+import numpy as np
 
 from ..congest import EnergyLedger, Network, NodeProgram
+from ..congest.vectorized import VectorRound
 from ..graphs.properties import max_degree
 from ..schedule import schedule_for_round
 from .config import DEFAULT_CONFIG, AlgorithmConfig
@@ -135,6 +137,129 @@ class Phase1Alg1Program(NodeProgram):
         if messages and not self.joined:
             self.dominated = True
             ctx.halt()
+
+    @classmethod
+    def vector_round(cls, network):
+        """Engine capability hook: the sub-round structure vectorizes
+        whole-network (the kernel reads only each node's pre-sampled
+        ``marked_round``, so heterogeneous tuning parameters are fine)."""
+        return _Phase1Alg1VectorRound(network)
+
+
+class _Phase1Alg1VectorRound(VectorRound):
+    """Whole-network regularized-Luby sub-rounds over flat numpy columns.
+
+    Unlike the always-on baselines, this phase is *schedule-driven*: the
+    active set of every round comes from the wake calendar the programs
+    laid down in ``on_start`` (Lemma 2.5 overlap schedules), so the kernel
+    assembles a boolean awake mask per round via
+    :meth:`VectorRound.pop_scheduled_awake` and masks every reduction with
+    it.  All randomness was consumed in ``on_start`` (the one-shot
+    ``marked_round`` sample), so the dense rounds draw nothing and the
+    per-node RNG streams need no rewinding.
+
+    Bit-identity hinges on mirroring the scalar receive rules exactly:
+
+    * STATUS/JOIN listeners that hear any join announcement become
+      dominated and halt *unless they are joined themselves* — and a node
+      that joined this very JOIN sub-round already counts as joined;
+    * MARK listeners acting this algorithm round *assign*
+      ``saw_marked_neighbor = bool(messages)`` (a node marked in a later
+      round than a halted neighbor can overwrite True with False — the
+      scalar program does too, and the column must follow).
+    """
+
+    supports_schedules = True
+    supports_edge_faults = True
+
+    def load(self) -> None:
+        arrays = self.arrays
+        network = self.network
+        n = arrays.n
+        self.marked_round = np.full(n, -1, dtype=np.int64)
+        self.joined = np.zeros(n, dtype=bool)
+        self.dominated = np.zeros(n, dtype=bool)
+        self.saw_marked = np.zeros(n, dtype=bool)
+        for i, node in enumerate(arrays.nodes):
+            program = network.programs[node]
+            if program.marked_round is not None:
+                self.marked_round[i] = program.marked_round
+            self.joined[i] = program.joined
+            self.dominated[i] = program.dominated
+            self.saw_marked[i] = program.saw_marked_neighbor
+        self._one_bit = np.ones(n, dtype=np.int64) if self.priced else None
+
+    def flush_state(self) -> None:
+        network = self.network
+        joined = self.joined
+        dominated = self.dominated
+        saw = self.saw_marked
+        for i, node in enumerate(self.arrays.nodes):
+            program = network.programs[node]
+            program.joined = bool(joined[i])
+            program.dominated = bool(dominated[i])
+            program.saw_marked_neighbor = bool(saw[i])
+
+    # ------------------------------------------------------------------
+    def step_round(self) -> None:
+        awake = self.pop_scheduled_awake()
+        self.charge_awake(awake)
+        keep = self.fault_keep() if self.faults is not None else None
+        algo_round, sub = divmod(self.network.round_index, 3)
+        if sub == _STATUS:
+            senders = awake & self.joined & (self.marked_round < algo_round)
+            self._join_wave(senders, awake, keep)
+        elif sub == _MARK:
+            acting = awake & (self.marked_round == algo_round)
+            senders = acting & ~self.dominated
+            heard_counts = self._broadcast_wave(senders, awake, keep)
+            self.saw_marked[acting] = heard_counts[acting] > 0
+        else:  # _JOIN
+            joiners = (
+                awake
+                & (self.marked_round == algo_round)
+                & ~self.dominated
+                & ~self.saw_marked
+            )
+            self.joined |= joiners
+            for i in np.nonzero(joiners)[0]:
+                self.output_of(i)["joined"] = True
+            self._join_wave(joiners, awake, keep)
+
+    def _broadcast_wave(
+        self,
+        senders: np.ndarray,
+        awake: np.ndarray,
+        keep: Optional[np.ndarray],
+    ) -> np.ndarray:
+        """Account one broadcast wave; return per-receiver heard counts
+        (surviving copies only when a fault mask is active — one CSR pass
+        serves both the heard-test and the delivery count)."""
+        if keep is None:
+            heard_counts = self.arrays.neighbor_count(senders)
+            self.count_broadcasts(
+                senders, awake, self._one_bit, sender_counts=heard_counts
+            )
+        else:
+            heard_counts = self.arrays.masked_neighbor_count(senders, keep)
+            self.count_broadcasts(senders, awake, self._one_bit, keep=keep)
+        return heard_counts
+
+    def _join_wave(
+        self,
+        senders: np.ndarray,
+        awake: np.ndarray,
+        keep: Optional[np.ndarray],
+    ) -> None:
+        """Deliver join announcements: awake non-joined listeners that hear
+        one become dominated and halt (freshly-joined nodes are immune)."""
+        heard_counts = self._broadcast_wave(senders, awake, keep)
+        victims = np.nonzero(
+            awake & ~self.joined & (heard_counts > 0)
+        )[0]
+        if victims.size:
+            self.dominated[victims] = True
+            self.halt_ranks(victims)
 
 
 def run_phase1_alg1(

@@ -42,9 +42,11 @@ import math
 from typing import Dict, Optional, Set
 
 import networkx as nx
+import numpy as np
 
 from ..congest import EnergyLedger, Network, NodeProgram
 from ..congest.metrics import RunMetrics
+from ..congest.vectorized import VectorRound, int_bit_length
 from ..graphs.properties import max_degree
 from ..schedule import schedule_for_round
 from .config import DEFAULT_CONFIG, AlgorithmConfig
@@ -244,6 +246,291 @@ class Phase1Alg2Program(NodeProgram):
                 self.dominated = True
             ctx.output["joined"] = self.joined
             ctx.halt()
+
+    @classmethod
+    def vector_round(cls, network):
+        """Engine capability hook: one flat column set per network needs
+        every node to share the iteration parameters (the drivers always
+        build them that way; hand-built heterogeneous networks decline)."""
+        programs = list(network.programs.values())
+        first = programs[0]
+        signature = (
+            first.delta,
+            first.rounds,
+            first.high_threshold,
+            first.config.alg2_tag_exponent,
+            first.config.alg2_mark_exponent,
+        )
+        for program in programs:
+            if (
+                program.delta,
+                program.rounds,
+                program.high_threshold,
+                program.config.alg2_tag_exponent,
+                program.config.alg2_mark_exponent,
+            ) != signature:
+                return None
+        return _Phase1Alg2VectorRound(network)
+
+
+class _Phase1Alg2VectorRound(VectorRound):
+    """Whole-network Lemma 3.1 sub-rounds over flat numpy columns.
+
+    Schedule-driven like the Algorithm 1 phase (the active set of every
+    round is a calendar mask via :meth:`VectorRound.pop_scheduled_awake`),
+    with two extra twists the kernel must mirror exactly:
+
+    * the only in-round randomness is the re-marking coin of a pre-marked
+      node at its action round — the probability pipeline
+      ``estimate = Δ^0.5 · A_v``, ``p = min(1, 2Δ^0.6 / (5·estimate))``
+      runs in float64 either way, so the comparison against the node's
+      next uniform draw is bit-identical;
+    * domination does **not** halt during the sampling rounds (a dominated
+      node keeps its remaining wake appointments and simply stops acting);
+      halting happens only in the end block (step 0 listeners and the
+      final step-3 teardown), which the kernel drives through the real
+      contexts so the calendar stays consistent.
+
+    The duel at the JOIN sub-round compares the receiver's tagged-neighbor
+    count against the max over the mark announcements it *heard* — kept as
+    a ``rival_max`` column (−1 = silence), rebuilt into the scalar
+    ``competitors`` list only when a flush lands between a MARK and its
+    JOIN (the one boundary where the scalar path would read it).
+    """
+
+    supports_schedules = True
+    supports_edge_faults = True
+
+    def load(self) -> None:
+        arrays = self.arrays
+        network = self.network
+        n = arrays.n
+        first = network.programs[arrays.nodes[0]]
+        config = first.config
+        self.rounds = first.rounds
+        self.tag_factor = first.delta**config.alg2_tag_exponent
+        self.mark_numerator = 2.0 * first.delta**config.alg2_mark_exponent
+        self.high_threshold = first.high_threshold
+        self.tag_round = np.full(n, -1, dtype=np.int64)
+        self.premark_round = np.full(n, -1, dtype=np.int64)
+        self.joined = np.zeros(n, dtype=bool)
+        self.join_round = np.full(n, -1, dtype=np.int64)
+        self.dominated = np.zeros(n, dtype=bool)
+        self.tagged = np.zeros(n, dtype=np.int64)
+        self.marked = np.zeros(n, dtype=bool)
+        self.estimate = np.zeros(n, dtype=np.float64)
+        self.rival_max = np.full(n, -1, dtype=np.int64)
+        self.active_nonspoiled = np.zeros(n, dtype=np.int64)
+        self.high = np.zeros(n, dtype=bool)
+        self.saw_high = np.zeros(n, dtype=bool)
+        for i, node in enumerate(arrays.nodes):
+            program = network.programs[node]
+            if program.tag_round is not None:
+                self.tag_round[i] = program.tag_round
+            if program.premark_round is not None:
+                self.premark_round[i] = program.premark_round
+            self.joined[i] = program.joined
+            if program.join_round is not None:
+                self.join_round[i] = program.join_round
+            self.dominated[i] = program.dominated
+            self.tagged[i] = program.tagged_neighbors
+            self.marked[i] = program.marked
+            self.estimate[i] = program.estimate
+            if program.competitors:
+                self.rival_max[i] = max(program.competitors)
+            self.active_nonspoiled[i] = program.active_nonspoiled
+            self.high[i] = program.high
+            self.saw_high[i] = program.saw_high_neighbor
+        self._one_bit = np.ones(n, dtype=np.int64) if self.priced else None
+
+    def flush_state(self) -> None:
+        arrays = self.arrays
+        network = self.network
+        next_round = network.round_index + 1
+        # ``competitors`` is read by the scalar path only at the JOIN
+        # sub-round of the algorithm round whose MARK already ran.
+        rebuild_a = (
+            next_round // 4
+            if next_round < 4 * self.rounds and next_round % 4 == _JOIN
+            else None
+        )
+        indptr, indices = arrays.indptr, arrays.indices
+        for i, node in enumerate(arrays.nodes):
+            program = network.programs[node]
+            program.joined = bool(self.joined[i])
+            program.join_round = (
+                int(self.join_round[i]) if self.join_round[i] >= 0 else None
+            )
+            program.dominated = bool(self.dominated[i])
+            program.tagged_neighbors = int(self.tagged[i])
+            program.marked = bool(self.marked[i])
+            program.estimate = float(self.estimate[i])
+            program.active_nonspoiled = int(self.active_nonspoiled[i])
+            program.high = bool(self.high[i])
+            program.saw_high_neighbor = bool(self.saw_high[i])
+            if (
+                rebuild_a is not None
+                and self.marked[i]
+                and self.premark_round[i] == rebuild_a
+            ):
+                row = indices[indptr[i]:indptr[i + 1]]
+                program.competitors = [
+                    int(self.tagged[u])
+                    for u in row
+                    if self.marked[u] and self.premark_round[u] == rebuild_a
+                ]
+
+    # ------------------------------------------------------------------
+    def step_round(self) -> None:
+        network = self.network
+        arrays = self.arrays
+        awake = self.pop_scheduled_awake()
+        self.charge_awake(awake)
+        round_index = network.round_index
+        keep = self.fault_keep() if self.faults is not None else None
+        if round_index >= 4 * self.rounds:
+            self._end_block(round_index - 4 * self.rounds, awake, keep)
+            return
+        algo_round, sub = divmod(round_index, 4)
+        if sub == _STATUS:
+            senders = awake & self.joined & (self.join_round < algo_round)
+            self._dominate(senders, awake, keep)
+        elif sub == _TAG:
+            senders = awake & (self.tag_round == algo_round) & ~self.dominated
+            counts = self._broadcast_wave(senders, awake, keep)
+            receivers = awake & (self.premark_round == algo_round)
+            self.tagged[receivers] = counts[receivers]
+        elif sub == _MARK:
+            deciders = (
+                awake & (self.premark_round == algo_round) & ~self.dominated
+            )
+            idx = np.nonzero(deciders)[0]
+            marked_now = np.zeros(arrays.n, dtype=bool)
+            if idx.size:
+                estimate = self.tag_factor * self.tagged[idx].astype(
+                    np.float64
+                )
+                probability = np.ones(idx.size, dtype=np.float64)
+                positive = estimate > 0.0
+                probability[positive] = np.minimum(
+                    1.0, self.mark_numerator / (5.0 * estimate[positive])
+                )
+                self.estimate[idx] = estimate
+                self.marked[idx] = self.draws.take(idx) < probability
+                marked_now[idx] = self.marked[idx]
+            bits = (
+                np.maximum(1, int_bit_length(self.tagged)) + 1
+                if self.priced
+                else None
+            )
+            tag_values = np.where(marked_now, self.tagged, np.int64(-1))
+            if keep is None:
+                self.count_broadcasts(marked_now, awake, bits)
+                rival = arrays.neighbor_max(tag_values, empty=np.int64(-1))
+            else:
+                self.count_broadcasts(marked_now, awake, bits, keep=keep)
+                rival = arrays.masked_neighbor_max(
+                    tag_values, np.int64(-1), keep
+                )
+            self.rival_max[marked_now] = rival[marked_now]
+        else:  # _JOIN
+            winners = (
+                awake
+                & (self.premark_round == algo_round)
+                & self.marked
+                & ~self.dominated
+                & (self.rival_max < self.tagged)
+            )
+            winner_idx = np.nonzero(winners)[0]
+            if winner_idx.size:
+                self.joined[winner_idx] = True
+                self.join_round[winner_idx] = algo_round
+                for i in winner_idx:
+                    self.output_of(i)["joined"] = True
+            self._dominate(winners, awake, keep)
+
+    def _broadcast_wave(
+        self,
+        senders: np.ndarray,
+        awake: np.ndarray,
+        keep: Optional[np.ndarray],
+    ) -> np.ndarray:
+        """Account one broadcast wave; return per-receiver heard counts
+        (surviving copies only when a fault mask is active — one CSR pass
+        serves both the heard-test and the delivery count)."""
+        if keep is None:
+            heard_counts = self.arrays.neighbor_count(senders)
+            self.count_broadcasts(
+                senders, awake, self._one_bit, sender_counts=heard_counts
+            )
+        else:
+            heard_counts = self.arrays.masked_neighbor_count(senders, keep)
+            self.count_broadcasts(senders, awake, self._one_bit, keep=keep)
+        return heard_counts
+
+    def _dominate(
+        self,
+        senders: np.ndarray,
+        awake: np.ndarray,
+        keep: Optional[np.ndarray],
+    ) -> None:
+        """Sampling-round join announcements: listeners become dominated
+        (but stay on their wake schedules — no halt until the end block)."""
+        heard_counts = self._broadcast_wave(senders, awake, keep)
+        self.dominated |= awake & ~self.joined & (heard_counts > 0)
+
+    def _end_block(
+        self, step: int, awake: np.ndarray, keep
+    ) -> None:
+        arrays = self.arrays
+        if step == 0:
+            senders = awake & self.joined
+            heard_counts = self._broadcast_wave(senders, awake, keep)
+            victims = np.nonzero(
+                awake & ~self.joined & (heard_counts > 0)
+            )[0]
+            if victims.size:
+                self.dominated[victims] = True
+                self.halt_ranks(victims)
+        elif step == 1:
+            actors = awake & ~self.joined & ~self.dominated
+            spoiled = (self.tag_round >= 0) | (self.premark_round >= 0)
+            # The heard-test mask (non-spoiled actors) differs from the
+            # broadcast mask, so no shared CSR pass here.
+            if keep is None:
+                self.count_broadcasts(actors, awake, self._one_bit)
+                counts = arrays.neighbor_count(actors & ~spoiled)
+            else:
+                self.count_broadcasts(actors, awake, self._one_bit, keep=keep)
+                counts = arrays.masked_neighbor_count(
+                    actors & ~spoiled, keep
+                )
+            self.active_nonspoiled[awake] = counts[awake]
+        elif step == 2:
+            actors = awake & ~self.joined & ~self.dominated
+            reaches = self.active_nonspoiled > self.high_threshold
+            self.high[actors] = reaches[actors]
+            senders = actors & self.high
+            heard_counts = self._broadcast_wave(senders, awake, keep)
+            self.saw_high[awake] = heard_counts[awake] > 0
+        else:  # step == 3: final joins, outputs, and teardown
+            joiners = (
+                awake
+                & ~self.joined
+                & ~self.dominated
+                & self.high
+                & ~self.saw_high
+            )
+            self.joined |= joiners
+            heard_counts = self._broadcast_wave(joiners, awake, keep)
+            self.dominated |= (
+                awake & ~self.joined & (heard_counts > 0)
+            )
+            awake_idx = np.nonzero(awake)[0]
+            joined = self.joined
+            for i in awake_idx:
+                self.output_of(i)["joined"] = bool(joined[i])
+            self.halt_ranks(awake_idx)
 
 
 def run_lemma31_iteration(

@@ -161,11 +161,173 @@ def test_vector_capable_algorithms_never_silently_fall_back(algorithm):
     )
 
 
-def test_forced_vectorized_raises_for_incapable_programs():
+@pytest.mark.parametrize("algorithm", ["radio_decay", "algorithm1_avg"])
+def test_forced_vectorized_raises_for_incapable_programs(algorithm):
+    """Forcing the vectorized engine on an algorithm outside the derived
+    capability set must raise, not silently run scalar (radio_decay's
+    program has no kernel and runs on the broadcast medium; the
+    constant-average-energy wrappers build Lemma 4.2 simulation networks
+    whose program has none either)."""
+    assert algorithm not in VECTOR_CAPABLE_ALGORITHMS
     graph = graphs.make_family("gnp_log_degree", N, seed=5)
     with engine_mode("vectorized"):
         with pytest.raises(VectorizationError):
-            run_algorithm("ghaffari2016", graph, seed=5)
+            run_algorithm(algorithm, graph, seed=5)
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+@pytest.mark.parametrize(
+    "algorithm", ["algorithm1", "algorithm2", "ghaffari2016"]
+)
+def test_forced_vectorized_pipelines_bit_identical(algorithm, family):
+    """The paper's own algorithms now run end-to-end under a *forced*
+    vectorized engine (every network they build is kernel-capable), bit
+    identical to both scalar paths — including the sleep-scheduled Phase-I
+    networks, which the schedule-aware kernels cover."""
+    graph = graphs.make_family(family, N, seed=5)
+
+    results = {}
+    for mode in ("fast", "legacy", "vectorized"):
+        ledger = EnergyLedger(graph.nodes)
+        with engine_mode(mode):
+            result = run_algorithm(algorithm, graph, seed=5, ledger=ledger)
+        results[mode] = (result, ledger.snapshot())
+
+    reference, reference_ledger = results["legacy"]
+    for mode, (result, ledger_snapshot) in results.items():
+        assert result.mis == reference.mis, mode
+        assert _metrics_tuple(result.metrics) == \
+            _metrics_tuple(reference.metrics), mode
+        assert result.metrics == reference.metrics, mode
+        assert ledger_snapshot == reference_ledger, mode
+
+
+class TestScheduleAwareKernels:
+    """Sleep-schedule (wake-calendar) coverage for the paper's kernels.
+
+    The standard config gives zero Phase-I iterations at test sizes (the
+    ``log Δ − 2 log log n`` budget needs huge degrees), so these build the
+    phase programs directly with explicit budgets — every node lays down a
+    Lemma 2.5 wake calendar and the vectorized engine must follow it.
+    """
+
+    FAMILY_SEEDS = [("gnp_log_degree", 3), ("geometric", 9), ("grid", 1)]
+
+    def _alg1_network(self, graph, trace=False):
+        from repro.core.phase1_alg1 import Phase1Alg1Program
+        from repro.graphs.properties import max_degree
+
+        delta = max_degree(graph)
+        return Network(
+            graph,
+            {
+                v: Phase1Alg1Program(4, 8, delta, 10.0)
+                for v in graph.nodes
+            },
+            seed=11,
+            trace=trace,
+        )
+
+    def _alg2_network(self, graph, trace=False):
+        from repro.core.config import DEFAULT_CONFIG
+        from repro.core.phase1_alg2 import Phase1Alg2Program
+        from repro.graphs.properties import max_degree
+
+        delta = max(2, max_degree(graph))
+        return Network(
+            graph,
+            {
+                v: Phase1Alg2Program(delta, 6, DEFAULT_CONFIG)
+                for v in graph.nodes
+            },
+            seed=11,
+            trace=trace,
+        )
+
+    def _assert_identical(self, make_network, total_rounds):
+        for family, seed in self.FAMILY_SEEDS:
+            graph = graphs.make_family(family, 96, seed=seed)
+            reference = make_network(graph, trace=True)
+            reference.run_rounds(total_rounds, engine="legacy")
+            vectorized = make_network(graph, trace=True)
+            vectorized.run_rounds(total_rounds, engine="vectorized")
+            assert vectorized.vector_rounds > 0, family
+            key = (family,)
+            assert vectorized.outputs("joined") == \
+                reference.outputs("joined"), key
+            assert vectorized.metrics() == reference.metrics(), key
+            assert vectorized.ledger.snapshot() == \
+                reference.ledger.snapshot(), key
+            # Idle spans and per-round awake sets agree through the
+            # calendar-driven kernel rounds.
+            assert vectorized.trace.rounds == reference.trace.rounds, key
+            assert vectorized.trace.awake_counts() == \
+                reference.trace.awake_counts(), key
+            assert vectorized.trace.message_totals() == \
+                reference.trace.message_totals(), key
+
+    def test_phase1_alg1_wake_calendar_identical(self):
+        self._assert_identical(self._alg1_network, 3 * 32)
+
+    def test_phase1_alg2_wake_calendar_identical(self):
+        self._assert_identical(self._alg2_network, 4 * 6 + 4)
+
+    @pytest.mark.parametrize("cut", [1, 2, 3, 5, 17, 29])
+    def test_phase1_alg1_truncation_resumes_scalar(self, cut):
+        """Mid-cycle ``run_rounds`` truncation: the schedule-aware kernel's
+        flush must restore program state and remaining calendar so a scalar
+        continuation matches a pure scalar run."""
+        graph = graphs.make_family("gnp_log_degree", 96, seed=3)
+        reference = self._alg1_network(graph)
+        reference.run_rounds(3 * 32, engine="legacy")
+        hybrid = self._alg1_network(graph)
+        hybrid.run_rounds(cut, engine="vectorized")
+        hybrid.run_rounds(3 * 32 - cut, engine="fast")
+        assert hybrid.outputs("joined") == reference.outputs("joined")
+        assert hybrid.metrics() == reference.metrics()
+        assert hybrid.ledger.snapshot() == reference.ledger.snapshot()
+
+    @pytest.mark.parametrize("cut", [1, 2, 3, 4, 7, 25])
+    def test_phase1_alg2_truncation_resumes_scalar(self, cut):
+        total = 4 * 6 + 4
+        graph = graphs.make_family("gnp_log_degree", 96, seed=3)
+        reference = self._alg2_network(graph)
+        reference.run_rounds(total, engine="legacy")
+        hybrid = self._alg2_network(graph)
+        hybrid.run_rounds(cut, engine="vectorized")
+        hybrid.run_rounds(total - cut, engine="fast")
+        assert hybrid.outputs("joined") == reference.outputs("joined")
+        assert hybrid.metrics() == reference.metrics()
+        assert hybrid.ledger.snapshot() == reference.ledger.snapshot()
+
+    @pytest.mark.parametrize("cut", [1, 2, 3, 7])
+    def test_ghaffari_truncation_resumes_scalar(self, cut):
+        """Mark/join kernel truncation, including mid-iteration (odd cuts)
+        and multi-execution columns."""
+        from repro.baselines.ghaffari import GhaffariProgram
+
+        graph = graphs.make_family("gnp_log_degree", 96, seed=3)
+
+        def fresh():
+            return Network(
+                graph,
+                {
+                    v: GhaffariProgram(iterations=10, executions=3)
+                    for v in graph.nodes
+                },
+                seed=13,
+            )
+
+        reference = fresh()
+        reference.run(engine="legacy")
+        hybrid = fresh()
+        hybrid.run_rounds(cut, engine="vectorized")
+        assert hybrid.vector_rounds == cut
+        hybrid.run(engine="fast")
+        assert hybrid.outputs("in_mis") == reference.outputs("in_mis")
+        assert hybrid.outputs("status") == reference.outputs("status")
+        assert hybrid.metrics() == reference.metrics()
+        assert hybrid.ledger.snapshot() == reference.ledger.snapshot()
 
 
 def test_forced_vectorized_ignores_small_graph_floor():

@@ -100,16 +100,50 @@ class TestEventStream:
         assert kinds[-1] == "run_end"
         assert rec.events[-1] == ("run_end", result.rounds)
 
-    @pytest.mark.parametrize("algorithm", ["luby", "regularized_luby"])
+    @pytest.mark.parametrize(
+        "algorithm",
+        [
+            "luby",
+            "regularized_luby",
+            "ghaffari2016",
+            "algorithm1",
+            "algorithm2",
+        ],
+    )
     def test_event_streams_identical_across_engines(self, algorithm):
         """The acceptance matrix: a recording instrument attached to every
-        engine path sees the same rounds and the same awake counts."""
+        engine path sees the same rounds and the same awake counts — the
+        paper's pipelines included, whose Phase-I networks exercise the
+        schedule-aware kernels (on_phase_start/on_phase_end/on_round all
+        line up event for event)."""
         legacy, _ = self._run("legacy", algorithm)
         fast, _ = self._run("fast", algorithm)
         vectorized, _ = self._run("vectorized", algorithm)
         assert legacy.events == fast.events == vectorized.events
         assert vectorized.rounds_seen == legacy.rounds_seen
         assert vectorized.awake_total == legacy.awake_total
+
+    @pytest.mark.parametrize("algorithm", ["algorithm1", "ghaffari2016"])
+    def test_profiler_rides_the_vectorized_path(self, algorithm):
+        """``profile=True`` under a forced vectorized engine: the results
+        stay bit-identical to an unprofiled run and the section tree
+        records the dense rounds under ``vector_round``."""
+        graph = nx.gnp_random_graph(80, 0.1, seed=1)
+        with engine_mode("vectorized"):
+            plain = run_algorithm(algorithm, graph, seed=3)
+            profiled = run_algorithm(algorithm, graph, seed=3, profile=True)
+        assert profiled.mis == plain.mis
+        assert profiled.metrics == plain.metrics
+        profile = profiled.details["profile"]
+
+        def section_names(sections, acc):
+            for section in sections:
+                acc.add(section["name"])
+                section_names(section.get("children", ()), acc)
+            return acc
+
+        names = section_names(profile["sections"], set())
+        assert "vector_round" in names, sorted(names)
 
     def test_round_events_match_trace(self):
         """on_round awake counts must agree with the NetworkTrace."""
