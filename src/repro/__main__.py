@@ -164,6 +164,15 @@ def _static_main(argv) -> int:
     parser.add_argument("--n", "-n", type=_positive_int, default=512)
     parser.add_argument("--seed", "-s", type=_non_negative_int, default=0)
     parser.add_argument(
+        "--arrays", action="store_true",
+        help=(
+            "build the graph as a CSR-native GraphArrays instead of a "
+            "networkx Graph (skips per-edge dict adjacency; the only "
+            "practical route at n >= 10^6). Array-native families sample "
+            "edges directly into arrays; others convert after generation."
+        ),
+    )
+    parser.add_argument(
         "--channel", "-c", default=None, metavar="CHANNEL",
         help=(
             f"delivery model, one of {sorted(CHANNELS)} or a fault-wrapper "
@@ -260,13 +269,20 @@ def _static_main(argv) -> int:
     _install_resilience(args)
 
     if args.seeds > 1:
+        if args.arrays:
+            parser.error(
+                "--arrays applies to single-seed runs; multi-seed workers "
+                "regenerate graphs from task tuples"
+            )
         return _static_multi_seed(args, channel, fault_plan_params)
 
     _log.info(
         "running %s on %s n=%d seed=%d (engine=%s)",
         args.algorithm, args.family, args.n, args.seed, args.engine,
     )
-    graph = make_family(args.family, args.n, seed=args.seed)
+    graph = make_family(
+        args.family, args.n, seed=args.seed, as_arrays=args.arrays
+    )
     faults = None
     if fault_plan_params:
         from .faults import FaultPlan

@@ -30,7 +30,7 @@ from typing import List, Optional, Set, Tuple
 import networkx as nx
 import numpy as np
 
-from ..congest import EnergyLedger, Network, NodeProgram
+from ..congest import EnergyLedger, Network, NodeProgram, StateField
 from ..congest.vectorized import VectorRound
 from ..result import MISResult
 
@@ -65,11 +65,24 @@ class GhaffariProgram(NodeProgram):
             raise ValueError(f"iterations must be >= 0, got {iterations}")
         self.iterations = iterations
         self.executions = executions
+        # Per-execution state; ``join_round`` uses -1 for "never joined"
+        # so the whole row set fits typed columns (see state_schema).
         self.status: List[int] = [ACTIVE] * executions
         self.desire: List[float] = [0.5] * executions
         self.marked: List[bool] = [False] * executions
-        self.join_round: List[Optional[int]] = [None] * executions
-        self._marked_neighbor_execs: Set[int] = set()
+        self.join_round: List[int] = [-1] * executions
+        self.saw_marked: List[bool] = [False] * executions
+
+    @classmethod
+    def state_schema(cls):
+        return (
+            StateField("status", np.int8, default=ACTIVE, width="executions"),
+            StateField("desire", np.float64, default=0.5, width="executions"),
+            StateField("marked", np.bool_, width="executions"),
+            StateField("join_round", np.int64, default=-1,
+                       width="executions"),
+            StateField("saw_marked", np.bool_, width="executions"),
+        )
 
     # ------------------------------------------------------------------
     def undecided(self) -> bool:
@@ -81,7 +94,7 @@ class GhaffariProgram(NodeProgram):
     def on_start(self, ctx):
         ctx.output["in_mis"] = False
         if self.iterations == 0:
-            ctx.output["status"] = tuple(self.status)
+            ctx.output["status"] = tuple(int(s) for s in self.status)
             ctx.halt()
 
     def on_round(self, ctx):
@@ -91,20 +104,22 @@ class GhaffariProgram(NodeProgram):
             self._do_join(ctx)
 
     def _do_mark(self, ctx):
+        # ``bool(...)`` casts keep payloads and state python-native whether
+        # the row lives in a list (dict mode) or a typed column row view.
         for e in range(self.executions):
             if self.status[e] == ACTIVE:
                 self.marked[e] = bool(ctx.rng.random() < self.desire[e])
             else:
                 self.marked[e] = False
         if any(self.marked):
-            ctx.broadcast(tuple(self.marked))
+            ctx.broadcast(tuple(bool(m) for m in self.marked))
 
     def _do_join(self, ctx):
         joined_now = [False] * self.executions
         for e in range(self.executions):
             if self.status[e] != ACTIVE:
                 continue
-            saw_marked_neighbor = e in self._marked_neighbor_execs
+            saw_marked_neighbor = bool(self.saw_marked[e])
             # Desire update: the 1-bit effective-degree signal.
             if saw_marked_neighbor:
                 self.desire[e] = max(_MIN_DESIRE, self.desire[e] / 2.0)
@@ -121,12 +136,13 @@ class GhaffariProgram(NodeProgram):
     # ------------------------------------------------------------------
     def on_receive(self, ctx, messages):
         if ctx.round % 2 == _MARK:
-            marked_execs: Set[int] = set()
+            saw = [False] * self.executions
             for message in messages:
                 for e, bit in enumerate(message.payload):
                     if bit:
-                        marked_execs.add(e)
-            self._marked_neighbor_execs = marked_execs
+                        saw[e] = True
+            # Wholesale replacement, exactly like the old per-round set.
+            self.saw_marked = saw
         else:
             for message in messages:
                 for e, bit in enumerate(message.payload):
@@ -140,8 +156,8 @@ class GhaffariProgram(NodeProgram):
             self.iterations is not None and iteration + 1 >= self.iterations
         )
         if out_of_time or not self.undecided():
-            ctx.output["in_mis"] = self.status[0] == JOINED
-            ctx.output["status"] = tuple(self.status)
+            ctx.output["in_mis"] = bool(self.status[0] == JOINED)
+            ctx.output["status"] = tuple(int(s) for s in self.status)
             ctx.halt()
 
     @classmethod
@@ -172,7 +188,7 @@ class _GhaffariVectorRound(VectorRound):
     * a node broadcasts its mark (join) bit-vector only when *some* bit is
       set, and every payload is a tuple of ``executions`` bools — a
       constant 3·E bits on priced channels;
-    * ``_marked_neighbor_execs`` is replaced wholesale at every MARK
+    * the program's ``saw_marked`` row is replaced wholesale at every MARK
       receive (even when empty), so the ``saw_marked`` columns of live rows
       are overwritten each MARK round rather than OR-ed;
     * removal at JOIN checks the receiver's status *after* its own joins
@@ -192,25 +208,27 @@ class _GhaffariVectorRound(VectorRound):
         executions = first.executions
         self.executions = executions
         self.iterations = first.iterations
-        self.status = np.zeros((n, executions), dtype=np.int8)
-        self.desire = np.zeros((n, executions), dtype=np.float64)
-        self.marked = np.zeros((n, executions), dtype=bool)
-        self.join_round = np.full((n, executions), -1, dtype=np.int64)
-        self.saw_marked = np.zeros((n, executions), dtype=bool)
-        self.alive = np.zeros(n, dtype=bool)
-        always_on = network._always_on
-        for i, node in enumerate(arrays.nodes):
-            program = network.programs[node]
-            self.alive[i] = node in always_on
-            self.status[i] = program.status
-            self.desire[i] = program.desire
-            self.marked[i] = program.marked
-            for e, joined_at in enumerate(program.join_round):
-                if joined_at is not None:
-                    self.join_round[i, e] = joined_at
-            for e in program._marked_neighbor_execs:
-                if e < executions:
-                    self.saw_marked[i, e] = True
+        self.alive = self.rank_mask(network._always_on)
+        columns = self.state_columns
+        if columns is not None:
+            self.status = columns["status"].copy()
+            self.desire = columns["desire"].copy()
+            self.marked = columns["marked"].copy()
+            self.join_round = columns["join_round"].copy()
+            self.saw_marked = columns["saw_marked"].copy()
+        else:
+            self.status = np.zeros((n, executions), dtype=np.int8)
+            self.desire = np.zeros((n, executions), dtype=np.float64)
+            self.marked = np.zeros((n, executions), dtype=bool)
+            self.join_round = np.full((n, executions), -1, dtype=np.int64)
+            self.saw_marked = np.zeros((n, executions), dtype=bool)
+            for i, node in enumerate(arrays.nodes):
+                program = network.programs[node]
+                self.status[i] = program.status
+                self.desire[i] = program.desire
+                self.marked[i] = program.marked
+                self.join_round[i] = program.join_round
+                self.saw_marked[i] = program.saw_marked
         self._payload_bits = (
             np.full(n, 3 * executions, dtype=np.int64) if self.priced else None
         )
@@ -221,23 +239,28 @@ class _GhaffariVectorRound(VectorRound):
 
     def flush_state(self) -> None:
         network = self.network
-        executions = self.executions
-        # ``_marked_neighbor_execs`` only matters when the next scalar round
-        # is a JOIN (it is replaced wholesale at the next MARK receive);
-        # halted nodes keep their stale sets, exactly like the scalar path.
+        columns = self.state_columns
+        if columns is not None:
+            columns["status"][:] = self.status
+            columns["desire"][:] = self.desire
+            columns["marked"][:] = self.marked
+            columns["join_round"][:] = self.join_round
+            columns["saw_marked"][:] = self.saw_marked
+            return
+        # ``saw_marked`` only matters when the next scalar round is a JOIN
+        # (it is replaced wholesale at the next MARK receive); halted nodes
+        # keep their stale rows, exactly like the scalar path.
         rebuild_inbox = (network.round_index + 1) % 2 == _JOIN
         for i, node in enumerate(self.arrays.nodes):
             program = network.programs[node]
             program.status = [int(s) for s in self.status[i]]
             program.desire = [float(d) for d in self.desire[i]]
             program.marked = [bool(m) for m in self.marked[i]]
-            program.join_round = [
-                int(r) if r >= 0 else None for r in self.join_round[i]
-            ]
+            program.join_round = [int(r) for r in self.join_round[i]]
             if rebuild_inbox and self.alive[i]:
-                program._marked_neighbor_execs = {
-                    e for e in range(executions) if self.saw_marked[i, e]
-                }
+                program.saw_marked = [
+                    bool(b) for b in self.saw_marked[i]
+                ]
 
     # ------------------------------------------------------------------
     def step_round(self) -> None:

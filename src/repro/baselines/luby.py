@@ -22,7 +22,7 @@ from typing import Optional, Set, Tuple
 import networkx as nx
 import numpy as np
 
-from ..congest import EnergyLedger, Network, NodeProgram
+from ..congest import EnergyLedger, Network, NodeProgram, StateField
 from ..congest.vectorized import VectorRound, int_bit_length
 from ..result import MISResult
 
@@ -30,29 +30,56 @@ _MARK = 0  # sub-round: marked nodes announce (mark, degree)
 _RESOLVE = 1  # sub-round: mark winners join and announce
 _RETIRE = 2  # sub-round: dominated nodes announce their removal
 
-_ACTIVE = "active"
-_JOINED = "joined"
-_REMOVED = "removed"
+_ACTIVE = 0
+_JOINED = 1
+_REMOVED = 2
 
 
 class LubyProgram(NodeProgram):
-    """Node program for Luby's MIS."""
+    """Node program for Luby's MIS.
+
+    The three per-round scalars live in network-owned columns (see
+    :meth:`state_schema`); ``active_neighbors`` stays instance-local
+    because it is a shrinking *set* — it uses ``None`` as a lazy "all my
+    neighbors" sentinel so an untouched node never materializes its
+    neighborhood (the n=10^6 vectorized path leaves every node untouched).
+    """
 
     def __init__(self):
         self.state = _ACTIVE
-        self.active_neighbors: Set[int] = set()
+        self.active_neighbors: Optional[Set[int]] = None
         self.marked = False
         self.marked_neighbors: list = []
         self.pending_retirement = False
 
+    @classmethod
+    def state_schema(cls):
+        return (
+            StateField("state", np.int8),
+            StateField("marked", np.bool_),
+            StateField("pending_retirement", np.bool_),
+        )
+
     def on_start(self, ctx):
-        self.active_neighbors = set(ctx.neighbors)
         ctx.output["in_mis"] = False
 
     # ------------------------------------------------------------------
     def _priority(self, degree: int, node: int) -> Tuple[int, int]:
         """Tie-break key: a marked node beats marked neighbors of lower key."""
         return (degree, node)
+
+    def _active_degree(self, ctx) -> int:
+        active = self.active_neighbors
+        if active is None:
+            return ctx.degree
+        return len(active)
+
+    def _active_set(self, ctx) -> Set[int]:
+        active = self.active_neighbors
+        if active is None:
+            active = set(ctx.neighbors)
+            self.active_neighbors = active
+        return active
 
     def on_round(self, ctx):
         phase = ctx.round % 3
@@ -66,7 +93,7 @@ class LubyProgram(NodeProgram):
     def _do_mark(self, ctx):
         if self.state != _ACTIVE:
             return
-        degree = len(self.active_neighbors)
+        degree = self._active_degree(ctx)
         if degree == 0:
             self.marked = True  # isolated: joins unopposed
         else:
@@ -78,7 +105,7 @@ class LubyProgram(NodeProgram):
     def _do_resolve(self, ctx):
         if self.state != _ACTIVE or not self.marked:
             return
-        mine = self._priority(len(self.active_neighbors), ctx.node)
+        mine = self._priority(self._active_degree(ctx), ctx.node)
         wins = all(
             self._priority(deg, u) < mine for u, deg in self.marked_neighbors
         )
@@ -105,14 +132,15 @@ class LubyProgram(NodeProgram):
                 return
             joiners = {m.sender for m in messages}
             if joiners:
-                self.active_neighbors -= joiners
+                self._active_set(ctx).difference_update(joiners)
                 if self.state == _ACTIVE:
                     self.state = _REMOVED
                     self.pending_retirement = True
                     ctx.output["decided_round"] = ctx.round
         else:  # _RETIRE
             retirees = {m.sender for m in messages}
-            self.active_neighbors -= retirees
+            if retirees:
+                self._active_set(ctx).difference_update(retirees)
             if self.pending_retirement:
                 ctx.halt()
 
@@ -120,10 +148,6 @@ class LubyProgram(NodeProgram):
     def vector_round(cls, network):
         """Engine capability hook: Luby rounds vectorize whole-network."""
         return _LubyVectorRound(network)
-
-
-_STATE_CODES = {_ACTIVE: 0, _JOINED: 1, _REMOVED: 2}
-_STATE_NAMES = {code: name for name, code in _STATE_CODES.items()}
 
 
 class _LubyVectorRound(VectorRound):
@@ -163,21 +187,27 @@ class _LubyVectorRound(VectorRound):
         arrays = self.arrays
         network = self.network
         n = arrays.n
-        self.alive = np.zeros(n, dtype=bool)
-        self.state = np.zeros(n, dtype=np.int8)
-        self.marked = np.zeros(n, dtype=bool)
-        self.pending = np.zeros(n, dtype=bool)
-        always_on = network._always_on
-        for i, node in enumerate(arrays.nodes):
-            program = network.programs[node]
-            # Vector rounds only run while the whole population is
-            # always-on (the engine gates on an empty wake calendar), so
-            # membership there — not just "not halted" — is what "awake
-            # every round" means.
-            self.alive[i] = node in always_on
-            self.state[i] = _STATE_CODES[program.state]
-            self.marked[i] = program.marked
-            self.pending[i] = program.pending_retirement
+        # Vector rounds only run while the whole population is always-on
+        # (the engine gates on an empty wake calendar), so membership
+        # there — not just "not halted" — is what "awake every round"
+        # means.
+        self.alive = self.rank_mask(network._always_on)
+        columns = self.state_columns
+        if columns is not None:
+            # Network-owned columns share the kernel's rank order; a copy
+            # decouples the round loop from descriptor reads until flush.
+            self.state = columns["state"].copy()
+            self.marked = columns["marked"].copy()
+            self.pending = columns["pending_retirement"].copy()
+        else:
+            self.state = np.zeros(n, dtype=np.int8)
+            self.marked = np.zeros(n, dtype=bool)
+            self.pending = np.zeros(n, dtype=bool)
+            for i, node in enumerate(arrays.nodes):
+                program = network.programs[node]
+                self.state[i] = program.state
+                self.marked[i] = program.marked
+                self.pending[i] = program.pending_retirement
         if self.faults is None:
             # Live-neighbor count, maintained *incrementally* from here on:
             # RESOLVE subtracts the winners' contributions and RETIRE the
@@ -207,8 +237,13 @@ class _LubyVectorRound(VectorRound):
             program = network.programs[node]
             start, end = int(indptr[i]), int(indptr[i + 1])
             believed = program.active_neighbors
-            for e in range(start, end):
-                edge_live[e] = nodes[indices[e]] in believed
+            if believed is None:
+                # Lazy sentinel: the node still believes its whole
+                # neighborhood is active.
+                edge_live[start:end] = True
+            else:
+                for e in range(start, end):
+                    edge_live[e] = nodes[indices[e]] in believed
             if mark_keep is not None:
                 # Mid-cycle engagement between MARK and RESOLVE: the mark
                 # announcements were delivered (and filtered) by the scalar
@@ -232,40 +267,49 @@ class _LubyVectorRound(VectorRound):
         if faulty:
             edge_live = self.edge_live
             mark_keep = self._mark_keep
+        columns = self.state_columns
+        if columns is not None:
+            columns["state"][:] = self.state
+            columns["marked"][:] = self.marked
+            columns["pending_retirement"][:] = self.pending
+        else:
+            for i, node in enumerate(nodes):
+                program = network.programs[node]
+                program.state = int(self.state[i])
+                program.marked = bool(self.marked[i])
+                program.pending_retirement = bool(self.pending[i])
         # Reconstruct MARK-receive inboxes only when the next round is a
-        # RESOLVE (the one point where the scalar path reads them).
+        # RESOLVE (the one point where the scalar path reads them), and
+        # belief sets only for still-live rows — a finished run flushes in
+        # O(#survivors), not O(m).
         rebuild_inbox = (network.round_index + 1) % 3 == _RESOLVE
-        for i, node in enumerate(nodes):
-            program = network.programs[node]
-            program.state = _STATE_NAMES[int(self.state[i])]
-            program.marked = bool(self.marked[i])
-            program.pending_retirement = bool(self.pending[i])
-            if alive[i]:
-                start, end = int(indptr[i]), int(indptr[i + 1])
-                row = indices[start:end]
-                if faulty:
-                    program.active_neighbors = {
-                        nodes[row[k]]
-                        for k in range(end - start)
-                        if edge_live[start + k]
-                    }
-                    if rebuild_inbox:
-                        program.marked_neighbors = [
-                            (nodes[u], int(self.active_deg[u]))
-                            for k, u in enumerate(row)
-                            if self.marked[u] and self.state[u] == 0
-                            and (mark_keep is None or mark_keep[start + k])
-                        ]
-                else:
-                    program.active_neighbors = {
-                        nodes[u] for u in row if alive[u]
-                    }
-                    if rebuild_inbox:
-                        program.marked_neighbors = [
-                            (nodes[u], int(self.active_deg[u]))
-                            for u in row
-                            if self.marked[u] and self.state[u] == 0
-                        ]
+        for i in np.nonzero(alive)[0]:
+            program = network.programs[nodes[i]]
+            start, end = int(indptr[i]), int(indptr[i + 1])
+            row = indices[start:end]
+            if faulty:
+                program.active_neighbors = {
+                    nodes[row[k]]
+                    for k in range(end - start)
+                    if edge_live[start + k]
+                }
+                if rebuild_inbox:
+                    program.marked_neighbors = [
+                        (nodes[u], int(self.active_deg[u]))
+                        for k, u in enumerate(row)
+                        if self.marked[u] and self.state[u] == 0
+                        and (mark_keep is None or mark_keep[start + k])
+                    ]
+            else:
+                program.active_neighbors = {
+                    nodes[u] for u in row if alive[u]
+                }
+                if rebuild_inbox:
+                    program.marked_neighbors = [
+                        (nodes[u], int(self.active_deg[u]))
+                        for u in row
+                        if self.marked[u] and self.state[u] == 0
+                    ]
 
     # ------------------------------------------------------------------
     def step_round(self) -> None:

@@ -46,14 +46,15 @@ import math
 from typing import Optional
 
 import networkx as nx
+import numpy as np
 
-from ..congest import EnergyLedger, Network, NodeProgram
+from ..congest import EnergyLedger, Network, NodeProgram, StateField
 from ..congest.channels import ChannelSpec
 from ..result import MISResult
 
-_ACTIVE = "active"
-_JOINED = "joined"
-_DOMINATED = "dominated"
+_ACTIVE = 0
+_JOINED = 1
+_DOMINATED = 2
 
 
 class RadioDecayProgram(NodeProgram):
@@ -65,6 +66,16 @@ class RadioDecayProgram(NodeProgram):
         self.levels = 1
         self.duel_slots = 1
         self.epoch_len = 2
+
+    @classmethod
+    def state_schema(cls):
+        # Epoch geometry (levels/duel_slots/epoch_len) is derived from
+        # ``ctx.n`` and identical across nodes; only the per-node decision
+        # scalars go in columns.
+        return (
+            StateField("state", np.int8),
+            StateField("candidate", np.bool_),
+        )
 
     def on_start(self, ctx):
         self.levels = max(1, math.ceil(math.log2(max(2, ctx.n))))

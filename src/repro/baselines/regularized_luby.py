@@ -26,7 +26,7 @@ from typing import Optional
 import networkx as nx
 import numpy as np
 
-from ..congest import EnergyLedger, Network, NodeProgram
+from ..congest import EnergyLedger, Network, NodeProgram, StateField
 from ..congest.vectorized import VectorRound
 from ..graphs.properties import max_degree
 from ..result import MISResult
@@ -47,6 +47,14 @@ class RegularizedLubyProgram(NodeProgram):
         self.joined = False
         self.marked = False
         self.saw_marked_neighbor = False
+
+    @classmethod
+    def state_schema(cls):
+        return (
+            StateField("joined", np.bool_),
+            StateField("marked", np.bool_),
+            StateField("saw_marked_neighbor", np.bool_),
+        )
 
     def on_start(self, ctx):
         ctx.output["in_mis"] = False
@@ -130,17 +138,21 @@ class _RegularizedLubyVectorRound(VectorRound):
         arrays = self.arrays
         network = self.network
         n = arrays.n
-        self.alive = np.zeros(n, dtype=bool)
-        self.marked = np.zeros(n, dtype=bool)
-        self.saw_marked = np.zeros(n, dtype=bool)
-        self.joined = np.zeros(n, dtype=bool)
-        always_on = network._always_on
-        for i, node in enumerate(arrays.nodes):
-            program = network.programs[node]
-            self.alive[i] = node in always_on
-            self.marked[i] = program.marked
-            self.saw_marked[i] = program.saw_marked_neighbor
-            self.joined[i] = program.joined
+        self.alive = self.rank_mask(network._always_on)
+        columns = self.state_columns
+        if columns is not None:
+            self.marked = columns["marked"].copy()
+            self.saw_marked = columns["saw_marked_neighbor"].copy()
+            self.joined = columns["joined"].copy()
+        else:
+            self.marked = np.zeros(n, dtype=bool)
+            self.saw_marked = np.zeros(n, dtype=bool)
+            self.joined = np.zeros(n, dtype=bool)
+            for i, node in enumerate(arrays.nodes):
+                program = network.programs[node]
+                self.marked[i] = program.marked
+                self.saw_marked[i] = program.saw_marked_neighbor
+                self.joined[i] = program.joined
         self._template = next(iter(network.programs.values()))
         # Valid at any engagement boundary: nobody halts between a MARK
         # and its JOIN, so live-neighbor counts are cycle-stable.  From
@@ -150,6 +162,12 @@ class _RegularizedLubyVectorRound(VectorRound):
         self._alive_neighbors = arrays.neighbor_count(self.alive)
 
     def flush_state(self) -> None:
+        columns = self.state_columns
+        if columns is not None:
+            columns["marked"][:] = self.marked
+            columns["saw_marked_neighbor"][:] = self.saw_marked
+            columns["joined"][:] = self.joined
+            return
         programs = self.network.programs
         for i, node in enumerate(self.arrays.nodes):
             program = programs[node]

@@ -48,12 +48,19 @@ from .network import (
     set_legacy_mode,
 )
 from .program import Context, NodeProgram
+from .state import (
+    StateField,
+    column_state,
+    get_column_state,
+    set_column_state,
+)
 from .trace import NetworkTrace, RoundRecord
 from .vectorized import (
     DrawStreams,
     GraphArrays,
     VectorRound,
     graph_arrays,
+    invalidate_graph_arrays,
     reset_vector_stats,
     vector_stats,
 )
@@ -66,10 +73,15 @@ __all__ = [
     "GraphArrays",
     "VectorRound",
     "VectorizationError",
+    "StateField",
+    "column_state",
     "engine_mode",
+    "get_column_state",
     "get_engine_mode",
     "graph_arrays",
+    "invalidate_graph_arrays",
     "reset_vector_stats",
+    "set_column_state",
     "set_engine_mode",
     "vector_stats",
     "COLLISION",

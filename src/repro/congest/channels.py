@@ -257,21 +257,30 @@ class CongestChannel(Channel):
     def bind(self, network) -> None:
         self._network = network
         self._round_serial += 1
-        if not self.batched:
-            return
+        # The per-directed-edge slot structures are O(m) python objects —
+        # built lazily at the first batched delivery instead of here, so
+        # a run that stays on the vectorized dense-round path (which never
+        # routes a scalar delivery) never pays for them at all. That is
+        # the difference between "loads in seconds" and "loads in gigabytes"
+        # at n = 10^6.
+        self._slots_ready = False
+
+    def _build_slots(self) -> None:
         # One slot per directed edge, grouped contiguously by receiver and
         # ordered by sender within each block — so a receiver's inbox is a
         # slice of the flat arrays, already in sorted-sender order. The
         # sender of each slot never changes, so it is stored once here and
         # never written on the hot path.
+        network = self._network
+        graph = network.graph
         block: Dict[int, Tuple[int, int]] = {}
         slot_senders: List[int] = []
         out_slots: Dict[int, Dict[int, int]] = {node: {} for node in
-                                                network.graph.nodes}
+                                                graph.nodes}
         cursor = 0
-        for receiver in sorted(network.graph.nodes):
+        for receiver in network._node_order:
             start = cursor
-            for sender in sorted(network.graph.neighbors(receiver)):
+            for sender in network._neighbors_of(receiver):
                 out_slots[sender][receiver] = cursor
                 slot_senders.append(sender)
                 cursor += 1
@@ -291,6 +300,7 @@ class CongestChannel(Channel):
         self._payloads: List[Any] = [None] * cursor
         self._occupied = bytearray(cursor)
         self._dirty: List[int] = []
+        self._slots_ready = True
 
     # -- send side ------------------------------------------------------
     def price(self, payload: Any) -> int:
@@ -362,6 +372,8 @@ class CongestChannel(Channel):
         return inboxes
 
     def _deliver_batched(self, ordered, awake) -> Dict[int, Any]:
+        if not self._slots_ready:
+            self._build_slots()
         network = self._network
         contexts = network.contexts
         payloads_flat = self._payloads
@@ -430,6 +442,8 @@ class CongestChannel(Channel):
         if not self.batched:
             return
         self._round_serial += 1
+        if not self._slots_ready:
+            return
         dirty = self._dirty
         if dirty:
             occupied = self._occupied
@@ -477,6 +491,8 @@ class LocalChannel(CongestChannel):
         return inboxes
 
     def _deliver_batched(self, ordered, awake) -> Dict[int, Any]:
+        if not self._slots_ready:
+            self._build_slots()
         network = self._network
         contexts = network.contexts
         payloads_flat = self._payloads

@@ -59,6 +59,8 @@ from .errors import SchedulingError, SimulationLimitError, VectorizationError
 from .message import default_bit_budget
 from .metrics import EnergyLedger, RunMetrics
 from .program import NO_BROADCAST, Context, NodeProgram
+from .state import allocate_columns, bind_state, get_column_state
+from .vectorized import GraphArrays
 
 #: Engine paths selectable per run or globally (see :func:`engine_mode`):
 #:
@@ -168,8 +170,12 @@ class Network:
     Parameters
     ----------
     graph:
-        The communication topology. Node labels must be hashable; they are
-        used directly as identifiers (MIS algorithms assume unique IDs).
+        The communication topology: a ``networkx.Graph``, or a
+        :class:`~repro.congest.vectorized.GraphArrays` CSR adjacency (the
+        array-native path — generators produce one via ``as_arrays=True``
+        without ever materializing per-node adjacency dicts). Node labels
+        must be hashable; they are used directly as identifiers (MIS
+        algorithms assume unique IDs).
     programs:
         Mapping from node to its :class:`NodeProgram` instance.
     seed:
@@ -213,6 +219,7 @@ class Network:
         channel: ChannelSpec = None,
         instrument=None,
         faults=None,
+        column_state: Optional[bool] = None,
     ):
         if graph.number_of_nodes() == 0:
             raise ValueError("cannot simulate an empty graph")
@@ -221,6 +228,13 @@ class Network:
             raise ValueError(f"no program for nodes {missing[:5]}...")
 
         self.graph = graph
+        #: Node labels in ascending order — the canonical rank order shared
+        #: by RNG spawning, state-column rows, and the CSR adjacency.
+        self._node_order = (
+            list(graph.nodes)
+            if isinstance(graph, GraphArrays)
+            else sorted(graph.nodes)
+        )
         self.n = size_bound if size_bound is not None else graph.number_of_nodes()
         self.bit_budget = (
             bit_budget if bit_budget is not None else default_bit_budget(self.n)
@@ -239,10 +253,18 @@ class Network:
         seed_seq = np.random.SeedSequence(seed)
         children = seed_seq.spawn(graph.number_of_nodes())
         self.contexts: Dict[int, Context] = {}
-        for child, node in zip(children, sorted(graph.nodes)):
+        for child, node in zip(children, self._node_order):
             rng = np.random.default_rng(child)
-            neighbors = tuple(sorted(graph.neighbors(node)))
-            self.contexts[node] = Context(self, node, neighbors, self.n, rng)
+            self.contexts[node] = Context(self, node, self.n, rng)
+
+        #: Flat per-field state columns when the programs declare a schema
+        #: (see :mod:`repro.congest.state`), else None (dict-backed state).
+        self.state_columns = None
+        self._column_state = (
+            get_column_state() if column_state is None else bool(column_state)
+        )
+        if self._column_state:
+            self._allocate_state_columns()
 
         # Wake bookkeeping: nodes in always-awake mode run every round;
         # scheduled nodes run only at rounds present in ``_wake_calendar``.
@@ -277,6 +299,58 @@ class Network:
             self.trace: Optional["NetworkTrace"] = NetworkTrace()
         else:
             self.trace = None
+
+    # ------------------------------------------------------------------
+    # State columns and adjacency views
+    # ------------------------------------------------------------------
+    def _allocate_state_columns(self) -> None:
+        """Allocate + bind schema-declared state columns, when possible.
+
+        Column state engages only for a homogeneous program population
+        with a non-empty schema whose string widths agree across nodes;
+        anything else silently keeps the dict-backed layout (both layouts
+        are bit-identical, so this is a representation choice, not a
+        semantic one).
+        """
+        programs = self.programs
+        template = next(iter(programs.values()))
+        cls = type(template)
+        schema = cls.state_schema()
+        if not schema:
+            return
+        if any(type(p) is not cls for p in programs.values()):
+            return
+        for field in schema:
+            if isinstance(field.width, str):
+                width = getattr(template, field.width)
+                if any(
+                    getattr(p, field.width) != width
+                    for p in programs.values()
+                ):
+                    return
+        columns = allocate_columns(schema, template, len(self._node_order))
+        for rank, node in enumerate(self._node_order):
+            bind_state(programs[node], columns, rank)
+        self.state_columns = columns
+
+    def _neighbors_of(self, node) -> Tuple[int, ...]:
+        """Ascending neighbor tuple of one node (Context's lazy backing)."""
+        graph = self.graph
+        if isinstance(graph, GraphArrays):
+            rank = node if graph.identity_ranks else graph.rank[node]
+            return tuple(
+                graph.indices[
+                    graph.indptr[rank]:graph.indptr[rank + 1]
+                ].tolist()
+            )
+        return tuple(sorted(graph.neighbors(node)))
+
+    def _degree_of(self, node) -> int:
+        graph = self.graph
+        if isinstance(graph, GraphArrays):
+            rank = node if graph.identity_ranks else graph.rank[node]
+            return int(graph.degrees[rank])
+        return graph.degree(node)
 
     # ------------------------------------------------------------------
     # Scheduling plumbing (called from Context)
@@ -372,7 +446,7 @@ class Network:
         self._started = True
         if self._observed:
             self.instrument.on_run_start(self)
-        for node in sorted(self.graph.nodes):
+        for node in self._node_order:
             self.programs[node].on_start(self.contexts[node])
             ctx = self.contexts[node]
             if ctx._outbox or ctx._bcast is not NO_BROADCAST:

@@ -34,6 +34,7 @@ import numpy as np
 
 from .errors import SchedulingError
 from .message import Message
+from .state import StateField, install_descriptors
 
 # Marker for "no whole-neighborhood broadcast pending this round".  Channels
 # store a pending ``ctx.broadcast(payload)`` as a single marker assignment
@@ -48,8 +49,8 @@ class Context:
     __slots__ = (
         "_network",
         "node",
-        "neighbors",
-        "_neighbor_set",
+        "_neighbors",
+        "_nbset",
         "n",
         "rng",
         "output",
@@ -60,12 +61,16 @@ class Context:
         "_bcast",
     )
 
-    def __init__(self, network, node: int, neighbors: Tuple[int, ...], n: int,
+    def __init__(self, network, node: int, n: int,
                  rng: np.random.Generator):
         self._network = network
         self.node = node
-        self.neighbors = neighbors
-        self._neighbor_set = frozenset(neighbors)
+        # Neighbor tuples are materialized lazily: a network of 10^6 nodes
+        # running the vectorized engine never touches most of them, and
+        # eagerly building one python tuple + frozenset per node is an
+        # O(m) memory bill the CSR adjacency already paid once.
+        self._neighbors: Optional[Tuple[int, ...]] = None
+        self._nbset = None
         self.n = n
         self.rng = rng
         self.output: Dict[str, Any] = {}
@@ -79,8 +84,28 @@ class Context:
     # Introspection
     # ------------------------------------------------------------------
     @property
+    def neighbors(self) -> Tuple[int, ...]:
+        """This node's neighbor ids, ascending (materialized on first use)."""
+        neighbors = self._neighbors
+        if neighbors is None:
+            neighbors = self._network._neighbors_of(self.node)
+            self._neighbors = neighbors
+        return neighbors
+
+    @property
+    def _neighbor_set(self) -> frozenset:
+        nbset = self._nbset
+        if nbset is None:
+            nbset = frozenset(self.neighbors)
+            self._nbset = nbset
+        return nbset
+
+    @property
     def degree(self) -> int:
-        return len(self.neighbors)
+        neighbors = self._neighbors
+        if neighbors is not None:
+            return len(neighbors)
+        return self._network._degree_of(self.node)
 
     @property
     def round(self) -> int:
@@ -179,7 +204,25 @@ class NodeProgram:
     Subclasses override any of the three callbacks. State should live on the
     program instance (``self``); the engine never shares instances between
     nodes.
+
+    Per-node state a subclass declares via :meth:`state_schema` is owned by
+    the network as flat typed columns (see :mod:`repro.congest.state`):
+    attribute access in the program body transparently proxies into the
+    node's column row, and vector kernels read/write the columns wholesale
+    instead of looping over instances. Undeclared attributes keep living in
+    the instance ``__dict__`` as before.
     """
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        # A schema-less class declares (), so this is a no-op for it.
+        install_descriptors(cls)
+
+    @classmethod
+    def state_schema(cls) -> Tuple[StateField, ...]:
+        """Typed per-node state columns this program wants the network to
+        own (``()`` = keep everything in the instance ``__dict__``)."""
+        return ()
 
     #: Vectorized-round capability hook. A program class whose dense
     #: rounds can be executed whole-network at a time overrides this with a

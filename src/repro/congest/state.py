@@ -1,0 +1,251 @@
+"""Schema-declared node state: flat network-owned columns with row views.
+
+Historically every :class:`~repro.congest.program.NodeProgram` instance
+kept its state in its own ``__dict__`` and the vectorized engine re-packed
+those dicts into ad-hoc numpy columns at every engagement.  This module
+inverts the ownership: a program class *declares* its per-node state as a
+typed schema (:meth:`NodeProgram.state_schema` returning
+:class:`StateField` triples), the :class:`~repro.congest.network.Network`
+allocates one flat column per field at bind time, and
+
+* scalar program bodies keep reading/writing ``self.<field>`` unchanged —
+  a data descriptor transparently proxies the attribute into
+  ``columns[name][rank]`` (the node's *row view*);
+* vector kernels skip the per-node python load/flush loops entirely and
+  copy whole columns.
+
+Width fields (``StateField(width=...)``) allocate 2-D ``(n, width)``
+columns; a node's row view is then a mutable length-``width`` numpy row,
+so list-shaped program state (Ghaffari's per-execution status vector)
+keeps its indexing syntax.  A ``width`` given as a *string* names an
+attribute of the program instances (e.g. ``width="executions"``) resolved
+at allocation time, because such widths are run parameters, not class
+constants.
+
+Before a program is bound to a network (i.e. during ``__init__``), the
+descriptors stage assignments in the instance ``__dict__`` exactly as
+plain attributes would; :func:`bind_state` then pops the staged values
+into the node's column rows.  Unbinding (when a program instance is moved
+to another network) materializes the rows back into the ``__dict__`` so
+no state is lost.
+
+The dict-backed layout remains fully supported: :func:`set_column_state`
+/ :func:`column_state` turn column allocation off globally or for a
+scope, and a :class:`Network` built with ``column_state=False`` keeps
+every program on plain instance attributes.  Both layouts are
+bit-identical in outputs, metrics, ledgers, and RNG draw order
+(``tests/test_engine_equivalence.py`` proves it for every registered
+algorithm on all three engine paths).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "StateField",
+    "set_column_state",
+    "get_column_state",
+    "column_state",
+    "allocate_columns",
+    "bind_state",
+    "unbind_state",
+]
+
+
+@dataclass(frozen=True)
+class StateField:
+    """One declared per-node state column.
+
+    ``dtype`` is anything ``np.dtype`` accepts (``np.bool_``, ``np.int8``,
+    ``np.int64``, ``np.float64``, ...).  ``default`` fills the column at
+    allocation; a program's ``__init__`` assignment (staged in the
+    instance ``__dict__`` until bind) overrides it per node.  ``width``
+    makes the column 2-D ``(n, width)``; a string names the program
+    attribute holding the width.
+    """
+
+    name: str
+    dtype: object
+    default: object = 0
+    width: Optional[Union[int, str]] = None
+
+
+# Module-level default, mirroring the engine-mode switch: column state is
+# the production layout; the dict layout stays reachable for equivalence
+# testing and for exotic per-node state no schema covers.
+_COLUMN_STATE = True
+
+
+def set_column_state(enabled: bool) -> None:
+    """Globally enable/disable column-backed state for new Networks."""
+    global _COLUMN_STATE
+    _COLUMN_STATE = bool(enabled)
+
+
+def get_column_state() -> bool:
+    return _COLUMN_STATE
+
+
+@contextmanager
+def column_state(enabled: bool):
+    """Scope the column-state default (dict layout under ``False``)."""
+    global _COLUMN_STATE
+    previous = _COLUMN_STATE
+    _COLUMN_STATE = bool(enabled)
+    try:
+        yield
+    finally:
+        _COLUMN_STATE = previous
+
+
+class _ScalarField:
+    """Data descriptor proxying a scalar schema field into its column row.
+
+    Unbound instances (no ``_state_columns`` in their ``__dict__``) behave
+    exactly like plain attributes, staging values in the instance dict.
+    Bound reads convert the numpy scalar back to the matching python
+    scalar (``.item()``) so payload pricing, output dicts, and identity
+    checks (``payload is False``) never see numpy scalar types.
+    """
+
+    __slots__ = ("name", "default")
+
+    def __init__(self, name: str, default):
+        self.name = name
+        self.default = default
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self
+        d = obj.__dict__
+        columns = d.get("_state_columns")
+        if columns is not None:
+            return columns[self.name][d["_state_rank"]].item()
+        try:
+            return d[self.name]
+        except KeyError:
+            return self.default
+
+    def __set__(self, obj, value) -> None:
+        d = obj.__dict__
+        columns = d.get("_state_columns")
+        if columns is not None:
+            columns[self.name][d["_state_rank"]] = value
+        else:
+            d[self.name] = value
+
+
+class _RowField:
+    """Data descriptor proxying a width field into its 2-D column row.
+
+    Bound reads return the node's row *view* (mutable in place — element
+    assignment writes straight through to the column); wholesale
+    assignment broadcasts a sequence into the row. Unbound instances
+    stage plain lists/arrays in the instance dict.
+    """
+
+    __slots__ = ("name", "default")
+
+    def __init__(self, name: str, default):
+        self.name = name
+        self.default = default
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self
+        d = obj.__dict__
+        columns = d.get("_state_columns")
+        if columns is not None:
+            return columns[self.name][d["_state_rank"]]
+        return d[self.name]
+
+    def __set__(self, obj, value) -> None:
+        d = obj.__dict__
+        columns = d.get("_state_columns")
+        if columns is not None:
+            columns[self.name][d["_state_rank"]] = value
+        else:
+            d[self.name] = value
+
+
+def install_descriptors(cls) -> None:
+    """Install one proxy descriptor per declared schema field on ``cls``.
+
+    Called from ``NodeProgram.__init_subclass__`` so declaring a schema is
+    all a program author does — attribute syntax in the program body stays
+    untouched in both layouts.
+    """
+    for field in cls.state_schema():
+        if not isinstance(field, StateField):
+            raise TypeError(
+                f"{cls.__name__}.state_schema() must yield StateField "
+                f"entries, got {type(field).__name__}"
+            )
+        descriptor = (
+            _ScalarField(field.name, field.default)
+            if field.width is None
+            else _RowField(field.name, field.default)
+        )
+        setattr(cls, field.name, descriptor)
+
+
+def resolve_width(field: StateField, template) -> int:
+    """Concrete column width for one field against a template instance."""
+    width = field.width
+    if isinstance(width, str):
+        width = getattr(template, width)
+    return int(width)
+
+
+def allocate_columns(
+    schema: Tuple[StateField, ...], template, n: int
+) -> Dict[str, np.ndarray]:
+    """Allocate default-filled columns for ``n`` nodes of one schema."""
+    columns: Dict[str, np.ndarray] = {}
+    for field in schema:
+        dtype = np.dtype(field.dtype)
+        if field.width is None:
+            column = np.full(n, field.default, dtype=dtype)
+        else:
+            column = np.full(
+                (n, resolve_width(field, template)), field.default,
+                dtype=dtype,
+            )
+        columns[field.name] = column
+    return columns
+
+
+def bind_state(program, columns: Dict[str, np.ndarray], rank: int) -> None:
+    """Attach ``program`` to row ``rank`` of the shared columns.
+
+    Values staged in the instance ``__dict__`` (assigned before bind,
+    typically in ``__init__``) are popped into the row; fields never
+    assigned keep the schema default already in the column.  A program
+    bound to an earlier network is transparently unbound first, so its
+    state follows the instance.
+    """
+    d = program.__dict__
+    if "_state_columns" in d:
+        unbind_state(program)
+    for name, column in columns.items():
+        if name in d:
+            column[rank] = d.pop(name)
+    d["_state_columns"] = columns
+    d["_state_rank"] = rank
+
+
+def unbind_state(program) -> None:
+    """Materialize a bound program's rows back into its ``__dict__``."""
+    d = program.__dict__
+    columns = d.pop("_state_columns", None)
+    if columns is None:
+        return
+    rank = d.pop("_state_rank")
+    for name, column in columns.items():
+        value = column[rank]
+        d[name] = value.item() if column.ndim == 1 else value.copy()

@@ -54,6 +54,23 @@ def reset_vector_stats() -> None:
     _VECTOR_STATS["networks"] = 0
 
 
+class _IdentityRank:
+    """Rank map for 0..n-1 integer labels: every label is its own rank.
+
+    Stands in for the ``{label: rank}`` dict so million-node graphs never
+    pay for a million-entry dictionary just to satisfy ``rank[node]``
+    call sites shared with arbitrary-label graphs.
+    """
+
+    __slots__ = ()
+
+    def __getitem__(self, node):
+        return node
+
+    def get(self, node, default=None):
+        return node
+
+
 class GraphArrays:
     """CSR adjacency over rank-indexed nodes.
 
@@ -61,9 +78,16 @@ class GraphArrays:
     all array math runs on each node's *rank* in sorted-label order, which
     is order-isomorphic to label comparison — so lexicographic tie-break
     keys like Luby's ``(degree, id)`` vectorize as ``degree * n + rank``.
+
+    Instances are also graph-like enough to hand straight to
+    :class:`~repro.congest.network.Network`: they answer
+    ``number_of_nodes``/``number_of_edges``, ``nodes``, ``neighbors`` and
+    membership tests, so the array-native construction path (generators'
+    ``as_arrays=True`` → :meth:`from_edges`) never materializes a
+    ``networkx.Graph`` of per-node adjacency dicts at all.
     """
 
-    __slots__ = ("nodes", "rank", "indptr", "indices", "degrees", "n",
+    __slots__ = ("nodes", "_rank", "indptr", "indices", "degrees", "n",
                  "identity_ranks", "_edge_source")
 
     def __init__(self, graph):
@@ -104,11 +128,17 @@ class GraphArrays:
             for k, (u, v) in enumerate(graph.edges):
                 head[k] = rank[u]
                 tail[k] = rank[v]
+        self._init_csr(nodes, head, tail, n, identity)
+        if not identity:
+            self._rank = rank
+
+    def _init_csr(self, nodes, head, tail, n, identity) -> None:
+        """Shared CSR build from rank-indexed endpoint arrays."""
         source = np.concatenate((head, tail))
         target = np.concatenate((tail, head))
         order = np.lexsort((target, source))
         self.nodes = nodes
-        self.rank = rank
+        self._rank = None
         self.indices = target[order]
         counts = np.bincount(source, minlength=n)
         self.indptr = np.concatenate((
@@ -118,6 +148,63 @@ class GraphArrays:
         self.n = n
         self.identity_ranks = identity
         self._edge_source = None  # built lazily (one np.repeat over m)
+
+    @classmethod
+    def from_edges(cls, n: int, head, tail) -> "GraphArrays":
+        """Build directly from an undirected edge list on labels 0..n-1.
+
+        ``head``/``tail`` are parallel integer arrays, one entry per
+        undirected edge, without duplicates or self-loops (generators
+        guarantee this). This is the array-native construction path: no
+        ``networkx.Graph`` ever exists.
+        """
+        self = cls.__new__(cls)
+        head = np.ascontiguousarray(head, dtype=np.int64)
+        tail = np.ascontiguousarray(tail, dtype=np.int64)
+        # ``range`` supports everything callers ask of ``nodes`` (len,
+        # iteration, indexing) without a million-entry python list.
+        self._init_csr(range(n), head, tail, n, True)
+        return self
+
+    @classmethod
+    def from_graph(cls, graph) -> "GraphArrays":
+        return cls(graph)
+
+    @property
+    def rank(self):
+        """Label → rank mapping (identity-label graphs build no dict)."""
+        rank = self._rank
+        if rank is None:
+            if self.identity_ranks:
+                rank = _IdentityRank()
+            else:
+                rank = {node: i for i, node in enumerate(self.nodes)}
+            self._rank = rank
+        return rank
+
+    # -- graph-like protocol (what Network and the channels consume) -----
+    def number_of_nodes(self) -> int:
+        return self.n
+
+    def number_of_edges(self) -> int:
+        return int(self.indices.size) // 2
+
+    def neighbors(self, node):
+        """Ascending neighbor labels of one node (a fresh list)."""
+        rank = node if self.identity_ranks else self.rank[node]
+        row = self.indices[self.indptr[rank]:self.indptr[rank + 1]]
+        if self.identity_ranks:
+            return row.tolist()
+        nodes = self.nodes
+        return [nodes[i] for i in row.tolist()]
+
+    def __contains__(self, node) -> bool:
+        if self.identity_ranks:
+            return isinstance(node, (int, np.integer)) and 0 <= node < self.n
+        return node in self.rank
+
+    def __len__(self) -> int:
+        return self.n
 
     @property
     def edge_source(self) -> np.ndarray:
@@ -230,16 +317,34 @@ def graph_arrays(network) -> GraphArrays:
     arrays = getattr(network, "_graph_arrays", None)
     if arrays is None:
         graph = network.graph
-        cache = getattr(graph, "__networkx_cache__", None)
-        if isinstance(cache, dict):
-            arrays = cache.get("repro_graph_arrays")
-            if arrays is None:
-                arrays = GraphArrays(graph)
-                cache["repro_graph_arrays"] = arrays
+        if isinstance(graph, GraphArrays):
+            # Array-native network: the graph *is* the CSR already.
+            arrays = graph
         else:
-            arrays = GraphArrays(graph)
+            cache = getattr(graph, "__networkx_cache__", None)
+            if isinstance(cache, dict):
+                arrays = cache.get("repro_graph_arrays")
+                if arrays is None:
+                    arrays = GraphArrays(graph)
+                    cache["repro_graph_arrays"] = arrays
+            else:
+                arrays = GraphArrays(graph)
         network._graph_arrays = arrays
     return arrays
+
+
+def invalidate_graph_arrays(graph) -> None:
+    """Drop a graph's cached :class:`GraphArrays`, if any.
+
+    networkx clears ``__networkx_cache__`` on its own mutators, but code
+    that rewires a graph through out-of-band paths (or merely wants a
+    belt-and-braces guarantee around a batch of mutations — the dynamic
+    subsystem's event application does) can call this to make sure no
+    stale CSR survives. A no-op for graphs without a cache dict.
+    """
+    cache = getattr(graph, "__networkx_cache__", None)
+    if isinstance(cache, dict):
+        cache.pop("repro_graph_arrays", None)
 
 
 class DrawStreams:
@@ -263,7 +368,18 @@ class DrawStreams:
     __slots__ = ("_rngs", "_buffer", "_cursor", "_block", "_snapshots",
                  "profiler")
 
-    def __init__(self, rngs: List[np.random.Generator], block: int = 32):
+    #: Past this many nodes the prefetch block shrinks: a (n, 32) float64
+    #: buffer is 256MB at n=10^6, and wide blocks only amortize python
+    #: refill overhead, which is already negligible per draw at that n.
+    #: The block size never affects the draw values (prefetch + rewind is
+    #: transparent), so this is purely a memory/speed knob.
+    WIDE_BLOCK_MAX_NODES = 1 << 17
+
+    def __init__(self, rngs: List[np.random.Generator],
+                 block: Optional[int] = None):
+        n = len(rngs)
+        if block is None:
+            block = 32 if n <= self.WIDE_BLOCK_MAX_NODES else 8
         self._rngs = rngs
         self._block = block
         n = len(rngs)
@@ -346,6 +462,11 @@ class VectorRound:
         #: declare ``supports_edge_faults = True``; the engine refuses to
         #: engage a runner whose faults it would silently ignore.
         self.faults = network.channel.vector_faults(self.arrays)
+        #: The network's schema-declared state columns (see
+        #: ``repro.congest.state``), or None in the dict-backed layout.
+        #: Column-aware kernels load/flush these with whole-array copies
+        #: instead of per-node python loops.
+        self.state_columns = network.state_columns
         self.loaded = False
         self._pending_energy = np.zeros(self.arrays.n, dtype=np.int64)
         self.draws = DrawStreams(
@@ -477,10 +598,7 @@ class VectorRound:
         network = self.network
         arrays = self.arrays
         n = arrays.n
-        rank = arrays.rank
-        always_on = np.zeros(n, dtype=bool)
-        for node in network._always_on:
-            always_on[rank[node]] = True
+        always_on = self.rank_mask(network._always_on)
         always_awake = np.zeros(n, dtype=bool)
         halted = np.zeros(n, dtype=bool)
         contexts = network.contexts
@@ -491,6 +609,21 @@ class VectorRound:
             if ctx._halted:
                 halted[i] = True
         return always_on, always_awake, halted
+
+    def rank_mask(self, members) -> np.ndarray:
+        """Boolean rank mask of a node-label collection (vectorized for
+        identity-labelled graphs — the only kind that gets big)."""
+        arrays = self.arrays
+        mask = np.zeros(arrays.n, dtype=bool)
+        count = len(members)
+        if count:
+            if arrays.identity_ranks:
+                mask[np.fromiter(members, dtype=np.int64, count=count)] = True
+            else:
+                rank = arrays.rank
+                for node in members:
+                    mask[rank[node]] = True
+        return mask
 
     def fault_keep(self) -> Optional[np.ndarray]:
         """This round's per-slot delivery mask, or None when nothing drops."""

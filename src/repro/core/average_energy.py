@@ -35,8 +35,15 @@ import math
 from typing import Optional, Set
 
 import networkx as nx
+import numpy as np
 
-from ..congest import EnergyLedger, Network, NodeProgram, channel_scope
+from ..congest import (
+    EnergyLedger,
+    Network,
+    NodeProgram,
+    StateField,
+    channel_scope,
+)
 from ..congest.metrics import RunMetrics
 from ..graphs.properties import max_degree
 from ..obs import current_instrument, section_scope
@@ -81,6 +88,21 @@ class Lemma42Program(NodeProgram):
         self.saw_marked_neighbor = False
         self.spoiled_count = 0
         self.nonspoiled_count = 0
+
+    @classmethod
+    def state_schema(cls):
+        # ``sampled_iteration``/``sampled_round`` stay Optional[int]
+        # instance slots: written once in ``on_start``, never in the round
+        # loop.
+        return (
+            StateField("joined", np.bool_),
+            StateField("announced_join", np.bool_),
+            StateField("dominated", np.bool_),
+            StateField("failed", np.bool_),
+            StateField("saw_marked_neighbor", np.bool_),
+            StateField("spoiled_count", np.int64),
+            StateField("nonspoiled_count", np.int64),
+        )
 
     # ------------------------------------------------------------------
     def _sample(self, rng):

@@ -40,7 +40,7 @@ from typing import Optional, Set
 import networkx as nx
 import numpy as np
 
-from ..congest import EnergyLedger, Network, NodeProgram
+from ..congest import EnergyLedger, Network, NodeProgram, StateField
 from ..congest.vectorized import VectorRound
 from ..graphs.properties import max_degree
 from ..schedule import schedule_for_round
@@ -71,6 +71,17 @@ class Phase1Alg1Program(NodeProgram):
         self.joined = False
         self.dominated = False
         self.saw_marked_neighbor = False
+
+    @classmethod
+    def state_schema(cls):
+        # ``marked_round`` keeps its Optional[int] instance slot: it is
+        # written once in ``on_start`` and the kernel maps None to -1 on
+        # load, so a typed column would buy nothing in the hot loop.
+        return (
+            StateField("joined", np.bool_),
+            StateField("dominated", np.bool_),
+            StateField("saw_marked_neighbor", np.bool_),
+        )
 
     # ------------------------------------------------------------------
     def _sample_marked_round(self, rng) -> Optional[int]:
@@ -177,20 +188,36 @@ class _Phase1Alg1VectorRound(VectorRound):
         network = self.network
         n = arrays.n
         self.marked_round = np.full(n, -1, dtype=np.int64)
-        self.joined = np.zeros(n, dtype=bool)
-        self.dominated = np.zeros(n, dtype=bool)
-        self.saw_marked = np.zeros(n, dtype=bool)
-        for i, node in enumerate(arrays.nodes):
-            program = network.programs[node]
-            if program.marked_round is not None:
-                self.marked_round[i] = program.marked_round
-            self.joined[i] = program.joined
-            self.dominated[i] = program.dominated
-            self.saw_marked[i] = program.saw_marked_neighbor
+        columns = self.state_columns
+        if columns is not None:
+            self.joined = columns["joined"].copy()
+            self.dominated = columns["dominated"].copy()
+            self.saw_marked = columns["saw_marked_neighbor"].copy()
+            for i, node in enumerate(arrays.nodes):
+                marked_round = network.programs[node].marked_round
+                if marked_round is not None:
+                    self.marked_round[i] = marked_round
+        else:
+            self.joined = np.zeros(n, dtype=bool)
+            self.dominated = np.zeros(n, dtype=bool)
+            self.saw_marked = np.zeros(n, dtype=bool)
+            for i, node in enumerate(arrays.nodes):
+                program = network.programs[node]
+                if program.marked_round is not None:
+                    self.marked_round[i] = program.marked_round
+                self.joined[i] = program.joined
+                self.dominated[i] = program.dominated
+                self.saw_marked[i] = program.saw_marked_neighbor
         self._one_bit = np.ones(n, dtype=np.int64) if self.priced else None
 
     def flush_state(self) -> None:
         network = self.network
+        columns = self.state_columns
+        if columns is not None:
+            columns["joined"][:] = self.joined
+            columns["dominated"][:] = self.dominated
+            columns["saw_marked_neighbor"][:] = self.saw_marked
+            return
         joined = self.joined
         dominated = self.dominated
         saw = self.saw_marked

@@ -44,7 +44,7 @@ from typing import Dict, Optional, Set
 import networkx as nx
 import numpy as np
 
-from ..congest import EnergyLedger, Network, NodeProgram
+from ..congest import EnergyLedger, Network, NodeProgram, StateField
 from ..congest.metrics import RunMetrics
 from ..congest.vectorized import VectorRound, int_bit_length
 from ..graphs.properties import max_degree
@@ -83,13 +83,13 @@ class Phase1Alg2Program(NodeProgram):
             config.alg2_high_degree_factor
             * self.delta**config.alg2_mark_exponent
         )
-        # Sampling outcomes (filled in on_start).
-        self.tag_round: Optional[int] = None
-        self.premark_round: Optional[int] = None
-        self.action_round: Optional[int] = None
+        # Sampling outcomes (filled in on_start); -1 = "never".
+        self.tag_round = -1
+        self.premark_round = -1
+        self.action_round = -1
         # Execution state.
         self.joined = False
-        self.join_round: Optional[int] = None
+        self.join_round = -1
         self.dominated = False
         self.tagged_neighbors = 0
         self.marked = False
@@ -99,16 +99,35 @@ class Phase1Alg2Program(NodeProgram):
         self.high = False
         self.saw_high_neighbor = False
 
+    @classmethod
+    def state_schema(cls):
+        # ``competitors`` (the per-duel inbox list) stays instance-local;
+        # everything scalar is a typed column with -1 round sentinels.
+        return (
+            StateField("tag_round", np.int64, default=-1),
+            StateField("premark_round", np.int64, default=-1),
+            StateField("action_round", np.int64, default=-1),
+            StateField("joined", np.bool_),
+            StateField("join_round", np.int64, default=-1),
+            StateField("dominated", np.bool_),
+            StateField("tagged_neighbors", np.int64),
+            StateField("marked", np.bool_),
+            StateField("estimate", np.float64),
+            StateField("active_nonspoiled", np.int64),
+            StateField("high", np.bool_),
+            StateField("saw_high_neighbor", np.bool_),
+        )
+
     # ------------------------------------------------------------------
-    def _first_heads(self, rng, probability: float) -> Optional[int]:
+    def _first_heads(self, rng, probability: float) -> int:
         if probability <= 0.0:
-            return None
+            return -1
         gap = int(rng.geometric(min(1.0, probability)))
-        return gap - 1 if gap <= self.rounds else None
+        return gap - 1 if gap <= self.rounds else -1
 
     @property
     def spoiled(self) -> bool:
-        return self.action_round is not None
+        return self.action_round >= 0
 
     def on_start(self, ctx):
         ctx.output["joined"] = False
@@ -118,18 +137,18 @@ class Phase1Alg2Program(NodeProgram):
             ctx.rng, self.premark_probability
         )
         candidates = [
-            r for r in (self.tag_round, self.premark_round) if r is not None
+            r for r in (self.tag_round, self.premark_round) if r >= 0
         ]
-        self.action_round = min(candidates) if candidates else None
+        self.action_round = min(candidates) if candidates else -1
         # A later sampling of the other type never happens (the node is
         # spoiled after its first action round).
         if self.tag_round != self.action_round:
-            self.tag_round = None
+            self.tag_round = -1
         if self.premark_round != self.action_round:
-            self.premark_round = None
+            self.premark_round = -1
 
         wake = set()
-        if self.action_round is not None:
+        if self.action_round >= 0:
             ctx.output["sampled"] = True
             for entry in schedule_for_round(self.rounds, self.action_round):
                 wake.add(4 * entry + _STATUS)
@@ -311,36 +330,51 @@ class _Phase1Alg2VectorRound(VectorRound):
         self.tag_factor = first.delta**config.alg2_tag_exponent
         self.mark_numerator = 2.0 * first.delta**config.alg2_mark_exponent
         self.high_threshold = first.high_threshold
-        self.tag_round = np.full(n, -1, dtype=np.int64)
-        self.premark_round = np.full(n, -1, dtype=np.int64)
-        self.joined = np.zeros(n, dtype=bool)
-        self.join_round = np.full(n, -1, dtype=np.int64)
-        self.dominated = np.zeros(n, dtype=bool)
-        self.tagged = np.zeros(n, dtype=np.int64)
-        self.marked = np.zeros(n, dtype=bool)
-        self.estimate = np.zeros(n, dtype=np.float64)
         self.rival_max = np.full(n, -1, dtype=np.int64)
-        self.active_nonspoiled = np.zeros(n, dtype=np.int64)
-        self.high = np.zeros(n, dtype=bool)
-        self.saw_high = np.zeros(n, dtype=bool)
-        for i, node in enumerate(arrays.nodes):
-            program = network.programs[node]
-            if program.tag_round is not None:
+        columns = self.state_columns
+        if columns is not None:
+            self.tag_round = columns["tag_round"].copy()
+            self.premark_round = columns["premark_round"].copy()
+            self.joined = columns["joined"].copy()
+            self.join_round = columns["join_round"].copy()
+            self.dominated = columns["dominated"].copy()
+            self.tagged = columns["tagged_neighbors"].copy()
+            self.marked = columns["marked"].copy()
+            self.estimate = columns["estimate"].copy()
+            self.active_nonspoiled = columns["active_nonspoiled"].copy()
+            self.high = columns["high"].copy()
+            self.saw_high = columns["saw_high_neighbor"].copy()
+            for i, node in enumerate(arrays.nodes):
+                competitors = network.programs[node].competitors
+                if competitors:
+                    self.rival_max[i] = max(competitors)
+        else:
+            self.tag_round = np.full(n, -1, dtype=np.int64)
+            self.premark_round = np.full(n, -1, dtype=np.int64)
+            self.joined = np.zeros(n, dtype=bool)
+            self.join_round = np.full(n, -1, dtype=np.int64)
+            self.dominated = np.zeros(n, dtype=bool)
+            self.tagged = np.zeros(n, dtype=np.int64)
+            self.marked = np.zeros(n, dtype=bool)
+            self.estimate = np.zeros(n, dtype=np.float64)
+            self.active_nonspoiled = np.zeros(n, dtype=np.int64)
+            self.high = np.zeros(n, dtype=bool)
+            self.saw_high = np.zeros(n, dtype=bool)
+            for i, node in enumerate(arrays.nodes):
+                program = network.programs[node]
                 self.tag_round[i] = program.tag_round
-            if program.premark_round is not None:
                 self.premark_round[i] = program.premark_round
-            self.joined[i] = program.joined
-            if program.join_round is not None:
+                self.joined[i] = program.joined
                 self.join_round[i] = program.join_round
-            self.dominated[i] = program.dominated
-            self.tagged[i] = program.tagged_neighbors
-            self.marked[i] = program.marked
-            self.estimate[i] = program.estimate
-            if program.competitors:
-                self.rival_max[i] = max(program.competitors)
-            self.active_nonspoiled[i] = program.active_nonspoiled
-            self.high[i] = program.high
-            self.saw_high[i] = program.saw_high_neighbor
+                self.dominated[i] = program.dominated
+                self.tagged[i] = program.tagged_neighbors
+                self.marked[i] = program.marked
+                self.estimate[i] = program.estimate
+                if program.competitors:
+                    self.rival_max[i] = max(program.competitors)
+                self.active_nonspoiled[i] = program.active_nonspoiled
+                self.high[i] = program.high
+                self.saw_high[i] = program.saw_high_neighbor
         self._one_bit = np.ones(n, dtype=np.int64) if self.priced else None
 
     def flush_state(self) -> None:
@@ -355,26 +389,38 @@ class _Phase1Alg2VectorRound(VectorRound):
             else None
         )
         indptr, indices = arrays.indptr, arrays.indices
-        for i, node in enumerate(arrays.nodes):
-            program = network.programs[node]
-            program.joined = bool(self.joined[i])
-            program.join_round = (
-                int(self.join_round[i]) if self.join_round[i] >= 0 else None
-            )
-            program.dominated = bool(self.dominated[i])
-            program.tagged_neighbors = int(self.tagged[i])
-            program.marked = bool(self.marked[i])
-            program.estimate = float(self.estimate[i])
-            program.active_nonspoiled = int(self.active_nonspoiled[i])
-            program.high = bool(self.high[i])
-            program.saw_high_neighbor = bool(self.saw_high[i])
-            if (
-                rebuild_a is not None
-                and self.marked[i]
-                and self.premark_round[i] == rebuild_a
-            ):
+        columns = self.state_columns
+        if columns is not None:
+            columns["tag_round"][:] = self.tag_round
+            columns["premark_round"][:] = self.premark_round
+            columns["joined"][:] = self.joined
+            columns["join_round"][:] = self.join_round
+            columns["dominated"][:] = self.dominated
+            columns["tagged_neighbors"][:] = self.tagged
+            columns["marked"][:] = self.marked
+            columns["estimate"][:] = self.estimate
+            columns["active_nonspoiled"][:] = self.active_nonspoiled
+            columns["high"][:] = self.high
+            columns["saw_high_neighbor"][:] = self.saw_high
+        else:
+            for i, node in enumerate(arrays.nodes):
+                program = network.programs[node]
+                program.joined = bool(self.joined[i])
+                program.join_round = int(self.join_round[i])
+                program.dominated = bool(self.dominated[i])
+                program.tagged_neighbors = int(self.tagged[i])
+                program.marked = bool(self.marked[i])
+                program.estimate = float(self.estimate[i])
+                program.active_nonspoiled = int(self.active_nonspoiled[i])
+                program.high = bool(self.high[i])
+                program.saw_high_neighbor = bool(self.saw_high[i])
+        if rebuild_a is not None:
+            duelists = np.nonzero(
+                self.marked & (self.premark_round == rebuild_a)
+            )[0]
+            for i in duelists:
                 row = indices[indptr[i]:indptr[i + 1]]
-                program.competitors = [
+                network.programs[arrays.nodes[i]].competitors = [
                     int(self.tagged[u])
                     for u in row
                     if self.marked[u] and self.premark_round[u] == rebuild_a

@@ -28,6 +28,8 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 import networkx as nx
 import numpy as np
 
+from ..congest.vectorized import invalidate_graph_arrays
+
 EDGE_ADD = "edge_add"
 EDGE_REMOVE = "edge_remove"
 NODE_ADD = "node_add"
@@ -64,7 +66,20 @@ Epoch = List[GraphEvent]
 
 
 def apply_event(graph: nx.Graph, event: GraphEvent) -> None:
-    """Apply one event to ``graph`` in place, validating preconditions."""
+    """Apply one event to ``graph`` in place, validating preconditions.
+
+    Every mutation explicitly drops any cached
+    :class:`~repro.congest.vectorized.GraphArrays` CSR snapshot of the
+    graph — relying on networkx's own cache clearing would silently
+    resurrect stale adjacency on versions (or graph subclasses) that skip
+    it, and a stale CSR makes vectorized rounds disagree with the mutated
+    topology.
+    """
+    _apply_event(graph, event)
+    invalidate_graph_arrays(graph)
+
+
+def _apply_event(graph: nx.Graph, event: GraphEvent) -> None:
     if event.kind == EDGE_ADD:
         if event.u not in graph or event.v not in graph:
             raise KeyError(f"edge endpoints missing from graph: {event}")

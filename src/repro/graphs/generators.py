@@ -4,6 +4,16 @@ Every generator returns a :class:`networkx.Graph` whose nodes are the
 integers ``0 .. n-1`` (MIS algorithms assume unique comparable identifiers),
 and is deterministic in its ``seed``.
 
+The random families additionally offer an **array-native** construction
+path (``as_arrays=True`` on :func:`gnp`, :func:`gnp_expected_degree` and
+:func:`make_family`): edges are sampled straight into flat numpy arrays and
+lexsorted into a :class:`~repro.congest.vectorized.GraphArrays` CSR — no
+``networkx.Graph`` of per-node adjacency dicts is ever materialized, which
+is what makes ``n = 10^6`` graphs constructible on laptop-class memory.
+The array-native G(n, p) sampler is deterministic in ``seed`` but draws
+from ``numpy.random.default_rng``, so it is *not* edge-identical to the
+``networkx`` sampler at the same seed (both are exact G(n, p) samplers).
+
 The families mirror the settings the paper targets:
 
 * ``gnp`` / ``gnp_expected_degree`` — the generic dense/sparse random graphs
@@ -28,8 +38,23 @@ import numpy as np
 
 
 def _relabel(graph: nx.Graph) -> nx.Graph:
-    """Relabel nodes to 0..n-1 preserving determinism."""
-    mapping = {node: index for index, node in enumerate(sorted(graph.nodes, key=str))}
+    """Relabel nodes to 0..n-1 preserving determinism.
+
+    Graphs already labelled ``0..n-1`` pass through untouched, and
+    relabelings whose old and new label sets are disjoint (grid tuples →
+    ints) rewrite the graph in place — either way at most one copy of the
+    graph is alive, halving the peak memory of the old always-copy path.
+    """
+    n = graph.number_of_nodes()
+    labels = set(graph.nodes)
+    if labels == set(range(n)):
+        return graph
+    mapping = {
+        node: index
+        for index, node in enumerate(sorted(graph.nodes, key=str))
+    }
+    if labels.isdisjoint(mapping.values()):
+        return nx.relabel_nodes(graph, mapping, copy=False)
     return nx.relabel_nodes(graph, mapping, copy=True)
 
 
@@ -94,11 +119,63 @@ def caterpillar(spine: int, legs_per_node: int) -> nx.Graph:
     return graph
 
 
-def gnp(n: int, p: float, seed: int = 0) -> nx.Graph:
-    """Erdős–Rényi G(n, p)."""
+def _gnp_positions(rng, total: int, p: float) -> np.ndarray:
+    """Sample the sorted linear positions of a G(n, p) edge set.
+
+    Geometric skip-sampling over the linearized upper triangle
+    ``[0, total)``: each gap between consecutive selected positions is
+    ``Geometric(p)``, drawn in batches sized to the expected remainder, so
+    the work is ``O(m)`` for ``m`` sampled edges regardless of ``total``.
+    """
+    chunks = []
+    position = -1
+    while position < total - 1:
+        expect = (total - 1 - position) * p
+        size = min(int(expect + 4.0 * np.sqrt(expect + 1.0)) + 16, 1 << 24)
+        gaps = rng.geometric(p, size=size).astype(np.int64, copy=False)
+        offsets = position + np.cumsum(gaps)
+        chunks.append(offsets)
+        position = int(offsets[-1])
+    positions = np.concatenate(chunks) if chunks else np.empty(0, np.int64)
+    return positions[positions < total]
+
+
+def _gnp_arrays(n: int, p: float, seed: int):
+    """Array-native G(n, p): sample straight into a CSR ``GraphArrays``."""
+    from ..congest.vectorized import GraphArrays
+
+    total = n * (n - 1) // 2
+    if total == 0 or 1.0 - p == 1.0:
+        empty = np.empty(0, dtype=np.int64)
+        return GraphArrays.from_edges(n, empty, empty)
+    if p == 1.0:
+        head, tail = np.triu_indices(n, k=1)
+        return GraphArrays.from_edges(n, head, tail)
+    rng = np.random.default_rng(seed)
+    positions = _gnp_positions(rng, total, p)
+    # Decode linear position -> (head, tail): row i holds the pairs
+    # (i, i+1 .. n-1), so rows occupy [starts[i], ends[i]) with
+    # row lengths n-1-i.
+    counts = np.arange(n - 1, 0, -1, dtype=np.int64)
+    ends = np.cumsum(counts)
+    head = np.searchsorted(ends, positions, side="right").astype(np.int64)
+    tail = positions - (ends[head] - counts[head]) + head + 1
+    return GraphArrays.from_edges(n, head, tail)
+
+
+def gnp(n: int, p: float, seed: int = 0, *, as_arrays: bool = False):
+    """Erdős–Rényi G(n, p).
+
+    ``as_arrays=True`` samples edges directly into a CSR-backed
+    :class:`~repro.congest.vectorized.GraphArrays` (deterministic in
+    ``seed``, but not edge-identical to the networkx path — see module
+    docstring) without building a ``networkx.Graph``.
+    """
     _check_n(n)
     if not 0.0 <= p <= 1.0:
         raise ValueError(f"edge probability must be in [0, 1], got {p}")
+    if as_arrays:
+        return _gnp_arrays(n, p, seed)
     if p == 1.0:
         return clique(n)
     if 1.0 - p == 1.0:
@@ -110,15 +187,18 @@ def gnp(n: int, p: float, seed: int = 0) -> nx.Graph:
     return graph
 
 
-def gnp_expected_degree(n: int, degree: float, seed: int = 0) -> nx.Graph:
+def gnp_expected_degree(
+    n: int, degree: float, seed: int = 0, *, as_arrays: bool = False
+):
     """G(n, p) with p chosen so the expected degree is ``degree``."""
     _check_n(n)
     if degree < 0:
         raise ValueError(f"expected degree must be non-negative, got {degree}")
     if n == 1:
-        return empty_graph(1)
+        return gnp(1, 0.0, seed=seed, as_arrays=as_arrays) if as_arrays \
+            else empty_graph(1)
     p = min(1.0, degree / (n - 1))
-    return gnp(n, p, seed=seed)
+    return gnp(n, p, seed=seed, as_arrays=as_arrays)
 
 
 def random_regular(n: int, degree: int, seed: int = 0) -> nx.Graph:
@@ -206,8 +286,32 @@ FAMILIES: Dict[str, GraphFactory] = {
 }
 
 
-def make_family(name: str, n: int, seed: int = 0) -> nx.Graph:
-    """Instantiate a registered family by name."""
+#: Families with a fully array-native sampler (no networkx at any point);
+#: the rest build the networkx graph and convert via ``from_graph``.
+_ARRAY_FAMILIES: Dict[str, GraphFactory] = {
+    "gnp_sqrt_degree": lambda n, seed: gnp_expected_degree(
+        n, max(1.0, float(np.sqrt(n))), seed=seed, as_arrays=True
+    ),
+    "gnp_log_degree": lambda n, seed: gnp_expected_degree(
+        n, max(1.0, float(np.log2(max(2, n)))), seed=seed, as_arrays=True
+    ),
+}
+
+
+def make_family(name: str, n: int, seed: int = 0, *, as_arrays: bool = False):
+    """Instantiate a registered family by name.
+
+    ``as_arrays=True`` returns a CSR-backed
+    :class:`~repro.congest.vectorized.GraphArrays`: array-natively sampled
+    for the G(n, p) families, converted from the networkx graph otherwise.
+    """
     if name not in FAMILIES:
         raise KeyError(f"unknown graph family {name!r}; have {sorted(FAMILIES)}")
+    if as_arrays:
+        native = _ARRAY_FAMILIES.get(name)
+        if native is not None:
+            return native(n, seed)
+        from ..congest.vectorized import GraphArrays
+
+        return GraphArrays.from_graph(FAMILIES[name](n, seed))
     return FAMILIES[name](n, seed)

@@ -7,10 +7,13 @@ from typing import Dict, List, Set
 import networkx as nx
 
 
-def max_degree(graph: nx.Graph) -> int:
+def max_degree(graph) -> int:
     """Maximum degree Δ of the graph (0 for edgeless graphs)."""
     if graph.number_of_nodes() == 0:
         return 0
+    degrees = getattr(graph, "degrees", None)
+    if degrees is not None:  # CSR-backed GraphArrays: one array reduction
+        return int(degrees.max(initial=0))
     return max((d for _, d in graph.degree), default=0)
 
 

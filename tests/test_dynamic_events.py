@@ -147,3 +147,61 @@ class TestGeneratorShapes:
             node_growth(graph, 3, joins_per_epoch=-1)
         with pytest.raises(ValueError):
             adversarial_hub_deletion(graph, 3, hubs_per_epoch=-1)
+
+
+class TestGraphArraysInvalidation:
+    """Events must never leave a stale CSR snapshot behind.
+
+    ``graph_arrays`` parks the CSR in the graph's ``__networkx_cache__``;
+    ``apply_event`` must evict it so the next vectorized run rebuilds from
+    the mutated topology instead of replaying stale adjacency.
+    """
+
+    @staticmethod
+    def _arrays(graph):
+        from types import SimpleNamespace
+
+        from repro.congest.vectorized import graph_arrays
+
+        # Fresh stand-in network each call: only the per-graph cache in
+        # __networkx_cache__ can make two calls return the same object.
+        return graph_arrays(SimpleNamespace(graph=graph))
+
+    def test_static_graph_reuses_cached_csr(self):
+        graph = nx.path_graph(6)
+        assert self._arrays(graph) is self._arrays(graph)
+
+    def test_edge_insert_drops_cached_csr(self):
+        graph = nx.path_graph(6)
+        before = self._arrays(graph)
+        assert 5 not in set(before.neighbors(0))
+        apply_event(graph, GraphEvent(EDGE_ADD, 0, 5))
+        after = self._arrays(graph)
+        assert after is not before
+        assert 5 in set(after.neighbors(0))
+
+    def test_node_remove_drops_cached_csr(self):
+        graph = nx.path_graph(6)
+        before = self._arrays(graph)
+        assert 3 in before
+        apply_event(graph, GraphEvent(NODE_REMOVE, 3))
+        after = self._arrays(graph)
+        assert after is not before
+        assert 3 not in after
+        assert after.number_of_nodes() == 5
+
+    def test_epoch_of_mixed_events_yields_fresh_csr(self):
+        graph = nx.path_graph(6)
+        before = self._arrays(graph)
+        apply_epoch(
+            graph,
+            [
+                GraphEvent(EDGE_REMOVE, 2, 3),
+                GraphEvent(NODE_ADD, 6),
+                GraphEvent(EDGE_ADD, 6, 0),
+            ],
+        )
+        after = self._arrays(graph)
+        assert after is not before
+        assert 3 not in set(after.neighbors(2))
+        assert 0 in set(after.neighbors(6))

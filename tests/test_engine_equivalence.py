@@ -27,6 +27,7 @@ from repro.congest import (
     NodeProgram,
     VectorizationError,
     channel_scope,
+    column_state,
     engine_mode,
     legacy_engine,
     reset_vector_stats,
@@ -200,6 +201,108 @@ def test_forced_vectorized_pipelines_bit_identical(algorithm, family):
             _metrics_tuple(reference.metrics), mode
         assert result.metrics == reference.metrics, mode
         assert ledger_snapshot == reference_ledger, mode
+
+
+class TestColumnStateEquivalence:
+    """Dict-backed legacy state ⇔ schema-declared state columns.
+
+    Programs that declare a ``state_schema()`` normally live in flat numpy
+    columns owned by the network (scalar hooks see per-node row views).
+    ``column_state(False)`` disables the allocation so every program falls
+    back to plain instance attributes — the pre-refactor representation.
+    The two representations must be bit-identical on every engine path:
+    same outputs, metrics, per-node ledgers, and RNG draw order.
+    """
+
+    @staticmethod
+    def _run(algorithm, graph, mode, columns):
+        ledger = EnergyLedger(graph.nodes)
+        with column_state(columns):
+            with engine_mode(mode):
+                result = run_algorithm(algorithm, graph, seed=5, ledger=ledger)
+        return result, ledger.snapshot()
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+    def test_column_and_dict_state_identical_across_engines(
+        self, algorithm, family
+    ):
+        graph = graphs.make_family(family, N, seed=5)
+        reference, reference_ledger = self._run(
+            algorithm, graph, "legacy", columns=False
+        )
+        for mode in ("fast", "legacy", "auto"):
+            for columns in (False, True):
+                key = (mode, columns)
+                result, ledger_snapshot = self._run(
+                    algorithm, graph, mode, columns
+                )
+                assert result.mis == reference.mis, key
+                assert _metrics_tuple(result.metrics) == \
+                    _metrics_tuple(reference.metrics), key
+                assert result.metrics == reference.metrics, key
+                assert ledger_snapshot == reference_ledger, key
+
+    @pytest.mark.parametrize("columns", [False, True])
+    @pytest.mark.parametrize("cut", [1, 3, 6, 9])
+    def test_truncated_vectorized_resume_matches_in_both_representations(
+        self, columns, cut
+    ):
+        """Mid-cycle truncation: the kernel flush must restore *whichever*
+        state representation the programs use, so a scalar continuation
+        matches a pure scalar run under dict state and column state alike."""
+        graph = graphs.make_family("gnp_log_degree", 96, seed=3)
+
+        def fresh():
+            return Network(
+                graph, {v: LubyProgram() for v in graph.nodes}, seed=7
+            )
+
+        with column_state(columns):
+            reference = fresh()
+            reference.run(engine="legacy")
+            hybrid = fresh()
+            hybrid.run_rounds(cut, engine="vectorized")
+            assert hybrid.vector_rounds == cut
+            hybrid.run(engine="fast")
+        assert hybrid.outputs("in_mis") == reference.outputs("in_mis")
+        assert hybrid.outputs("decided_round") == \
+            reference.outputs("decided_round")
+        assert hybrid.metrics() == reference.metrics()
+        assert hybrid.ledger.snapshot() == reference.ledger.snapshot()
+
+    def test_fault_keep_masks_identical_across_representations(self):
+        """Lossy-channel keep-masks thread through the vectorized path the
+        same way whether node state lives in columns or instance dicts."""
+        graph = graphs.make_family("gnp_log_degree", 96, seed=3)
+        spec = "lossy(drop=0.15,seed=5):congest"
+
+        def measure(mode, columns):
+            ledger = EnergyLedger(graph.nodes)
+            with column_state(columns):
+                with channel_scope(spec):
+                    with engine_mode(mode):
+                        result = run_algorithm(
+                            "luby", graph, seed=5, ledger=ledger
+                        )
+            return result, ledger.snapshot()
+
+        # Active faults: fast and legacy share one per-message stream; the
+        # vectorized path draws per-edge-slot keep masks (its own seeded
+        # stream, deterministic but distinct). Column-vs-dict state must be
+        # bit-identical *within* every mode regardless.
+        for mode in ("fast", "legacy", "vectorized"):
+            reference, reference_ledger = measure(mode, columns=False)
+            assert reference.metrics.messages_dropped > 0, mode
+            result, ledger_snapshot = measure(mode, columns=True)
+            assert result.mis == reference.mis, mode
+            assert result.metrics == reference.metrics, mode
+            assert ledger_snapshot == reference_ledger, mode
+        fast, fast_ledger = measure("fast", columns=True)
+        legacy, legacy_ledger = measure("legacy", columns=True)
+        assert fast.mis == legacy.mis
+        assert fast.metrics == legacy.metrics
+        assert fast_ledger == legacy_ledger
 
 
 class TestScheduleAwareKernels:

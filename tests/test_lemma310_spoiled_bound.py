@@ -32,7 +32,7 @@ class TestSpoiledNeighborBound:
         graph = graphs.planted_max_degree(n, delta, seed=delta)
         programs = run_programs(graph, delta)
         sampled = {
-            v for v, p in programs.items() if p.action_round is not None
+            v for v, p in programs.items() if p.action_round >= 0
         }
         bound = 1.5 * 4 * delta**0.6  # Lemma 3.10's 4Δ^0.6, 50% slack
         worst = max(
@@ -48,7 +48,7 @@ class TestSpoiledNeighborBound:
         for program in programs.values():
             roles = [
                 r for r in (program.tag_round, program.premark_round)
-                if r is not None
+                if r >= 0
             ]
             if roles:
                 # both roles, if present, coincide with the action round
@@ -61,7 +61,7 @@ class TestSpoiledNeighborBound:
         graph = graphs.planted_max_degree(n, delta, seed=2)
         programs = run_programs(graph, delta)
         sampled = sum(
-            1 for p in programs.values() if p.action_round is not None
+            1 for p in programs.values() if p.action_round >= 0
         )
         rounds = sampling_rounds(n, delta, DEFAULT_CONFIG)
         expected = n * rounds * (delta**-0.5 + 0.5 * delta**-0.6)
