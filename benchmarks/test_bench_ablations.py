@@ -9,7 +9,6 @@
 
 import math
 
-import pytest
 
 from repro import graphs
 from repro.baselines import luby_mis

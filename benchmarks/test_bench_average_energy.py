@@ -3,7 +3,6 @@
 Regenerates the average-energy series for the augmented algorithms vs Luby.
 """
 
-import math
 
 import pytest
 

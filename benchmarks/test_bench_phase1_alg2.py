@@ -1,7 +1,6 @@
 """E9 — Lemma 3.1: one iteration contracts Δ toward Δ^0.7 with
 O(log log n) awake rounds."""
 
-import math
 
 import pytest
 

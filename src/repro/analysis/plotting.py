@@ -8,7 +8,7 @@ loglog one.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 _MARKERS = "ox+*#@%&"
 

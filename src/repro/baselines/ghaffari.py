@@ -131,7 +131,6 @@ class GhaffariProgram(NodeProgram):
                 joined_now[e] = True
         if any(joined_now):
             ctx.broadcast(tuple(joined_now))
-        self._joined_now = joined_now
 
     # ------------------------------------------------------------------
     def on_receive(self, ctx, messages):

@@ -26,7 +26,7 @@ its allotment is rejected, as the distributed schedule would not fit.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable
 
 from ..congest.metrics import EnergyLedger, RunMetrics
 from .tree import RootedTree

@@ -20,7 +20,7 @@ reaches a fixed point of ``O(Δ²)`` colors after ``O(log* k)`` rounds.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 
 def is_prime(value: int) -> bool:

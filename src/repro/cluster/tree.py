@@ -11,7 +11,7 @@ at clock offsets ``d_v`` and ``d_v + 1`` of the operation.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set
 
 import networkx as nx

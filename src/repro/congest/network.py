@@ -48,7 +48,7 @@ from __future__ import annotations
 
 import heapq
 from contextlib import contextmanager
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import networkx as nx
 import numpy as np

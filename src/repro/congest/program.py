@@ -61,7 +61,7 @@ class Context:
         "_bcast",
     )
 
-    def __init__(self, network, node: int, n: int,
+    def __init__(self, network: Any, node: int, n: int,
                  rng: np.random.Generator):
         self._network = network
         self.node = node
@@ -70,7 +70,7 @@ class Context:
         # eagerly building one python tuple + frozenset per node is an
         # O(m) memory bill the CSR adjacency already paid once.
         self._neighbors: Optional[Tuple[int, ...]] = None
-        self._nbset = None
+        self._nbset: Optional[frozenset] = None
         self.n = n
         self.rng = rng
         self.output: Dict[str, Any] = {}
@@ -213,7 +213,7 @@ class NodeProgram:
     the instance ``__dict__`` as before.
     """
 
-    def __init_subclass__(cls, **kwargs):
+    def __init_subclass__(cls, **kwargs: Any) -> None:
         super().__init_subclass__(**kwargs)
         # A schema-less class declares (), so this is a no-op for it.
         install_descriptors(cls)

@@ -42,7 +42,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple, Union
+from typing import Any, Dict, Iterator, Optional, Tuple, Union
 
 import numpy as np
 
@@ -70,8 +70,8 @@ class StateField:
     """
 
     name: str
-    dtype: object
-    default: object = 0
+    dtype: Any
+    default: Any = 0
     width: Optional[Union[int, str]] = None
 
 
@@ -92,7 +92,7 @@ def get_column_state() -> bool:
 
 
 @contextmanager
-def column_state(enabled: bool):
+def column_state(enabled: bool) -> Iterator[None]:
     """Scope the column-state default (dict layout under ``False``)."""
     global _COLUMN_STATE
     previous = _COLUMN_STATE
@@ -115,11 +115,11 @@ class _ScalarField:
 
     __slots__ = ("name", "default")
 
-    def __init__(self, name: str, default):
+    def __init__(self, name: str, default: Any):
         self.name = name
         self.default = default
 
-    def __get__(self, obj, objtype=None):
+    def __get__(self, obj: Any, objtype: Optional[type] = None) -> Any:
         if obj is None:
             return self
         d = obj.__dict__
@@ -131,7 +131,7 @@ class _ScalarField:
         except KeyError:
             return self.default
 
-    def __set__(self, obj, value) -> None:
+    def __set__(self, obj: Any, value: Any) -> None:
         d = obj.__dict__
         columns = d.get("_state_columns")
         if columns is not None:
@@ -151,11 +151,11 @@ class _RowField:
 
     __slots__ = ("name", "default")
 
-    def __init__(self, name: str, default):
+    def __init__(self, name: str, default: Any):
         self.name = name
         self.default = default
 
-    def __get__(self, obj, objtype=None):
+    def __get__(self, obj: Any, objtype: Optional[type] = None) -> Any:
         if obj is None:
             return self
         d = obj.__dict__
@@ -164,7 +164,7 @@ class _RowField:
             return columns[self.name][d["_state_rank"]]
         return d[self.name]
 
-    def __set__(self, obj, value) -> None:
+    def __set__(self, obj: Any, value: Any) -> None:
         d = obj.__dict__
         columns = d.get("_state_columns")
         if columns is not None:
@@ -173,7 +173,7 @@ class _RowField:
             d[self.name] = value
 
 
-def install_descriptors(cls) -> None:
+def install_descriptors(cls: type) -> None:
     """Install one proxy descriptor per declared schema field on ``cls``.
 
     Called from ``NodeProgram.__init_subclass__`` so declaring a schema is
@@ -194,16 +194,18 @@ def install_descriptors(cls) -> None:
         setattr(cls, field.name, descriptor)
 
 
-def resolve_width(field: StateField, template) -> int:
+def resolve_width(field: StateField, template: Any) -> int:
     """Concrete column width for one field against a template instance."""
     width = field.width
     if isinstance(width, str):
         width = getattr(template, width)
+    if width is None:
+        raise ValueError(f"field {field.name!r} declares no width")
     return int(width)
 
 
 def allocate_columns(
-    schema: Tuple[StateField, ...], template, n: int
+    schema: Tuple[StateField, ...], template: Any, n: int
 ) -> Dict[str, np.ndarray]:
     """Allocate default-filled columns for ``n`` nodes of one schema."""
     columns: Dict[str, np.ndarray] = {}
@@ -220,7 +222,9 @@ def allocate_columns(
     return columns
 
 
-def bind_state(program, columns: Dict[str, np.ndarray], rank: int) -> None:
+def bind_state(
+    program: Any, columns: Dict[str, np.ndarray], rank: int
+) -> None:
     """Attach ``program`` to row ``rank`` of the shared columns.
 
     Values staged in the instance ``__dict__`` (assigned before bind,
@@ -239,7 +243,7 @@ def bind_state(program, columns: Dict[str, np.ndarray], rank: int) -> None:
     d["_state_rank"] = rank
 
 
-def unbind_state(program) -> None:
+def unbind_state(program: Any) -> None:
     """Materialize a bound program's rows back into its ``__dict__``."""
     d = program.__dict__
     columns = d.pop("_state_columns", None)

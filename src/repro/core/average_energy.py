@@ -48,7 +48,7 @@ from ..congest.metrics import RunMetrics
 from ..graphs.properties import max_degree
 from ..obs import current_instrument, section_scope
 from ..result import MISResult
-from .config import DEFAULT_CONFIG, AlgorithmConfig, log2n, loglog2n
+from .config import DEFAULT_CONFIG, AlgorithmConfig, loglog2n
 from .phase1_alg1 import Phase1Alg1Program, run_phase1_alg1
 from .phase1_alg2 import run_phase1_alg2
 from .phase2 import run_phase2

@@ -39,7 +39,7 @@ simulation scales.
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional, Set
+from typing import Optional, Set
 
 import networkx as nx
 import numpy as np

@@ -30,9 +30,7 @@ from ..analysis import (
     best_model,
     fit_model,
     log2_safe,
-    log_star,
     loglog,
-    verify_mis,
 )
 from ..baselines import luby_mis
 from ..cluster import Choreography, merge_component_clusters, singleton_clusters

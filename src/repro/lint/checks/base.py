@@ -1,0 +1,72 @@
+"""Check framework: one class per diagnostic, with a stable ``RLxxx`` ID.
+
+A check receives the parsed :class:`~repro.lint.model.ModuleModel` and
+yields :class:`~repro.lint.findings.Finding`\\ s.  Every check carries its
+own documentation — ``rationale`` plus a minimal ``bad_example`` /
+``good_example`` pair — which backs ``repro lint --explain RLxxx`` and is
+itself verified by the fixture tests (the bad example must trigger exactly
+this check; the good example must lint clean), so the explain output can
+never drift from what the analyzer actually enforces.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from ..findings import Finding
+from ..model import ModuleModel
+
+
+class Check:
+    """Base class for one lint diagnostic."""
+
+    #: Stable identifier, e.g. ``"RL101"``. Never reuse a retired ID.
+    id: str = ""
+    #: Short kebab-case slug shown next to the ID in reports.
+    name: str = ""
+    #: One-line summary (the report message is per-finding and specific).
+    summary: str = ""
+    #: Why this is a bug class in this repo — shown by ``--explain``.
+    rationale: str = ""
+    #: Minimal violating module (must trigger exactly this check).
+    bad_example: str = ""
+    #: Minimal compliant variant of the same module (must lint clean).
+    good_example: str = ""
+
+    def run(self, module: ModuleModel) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def finding(
+        self, module: ModuleModel, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            check_id=self.id,
+            message=f"[{self.name}] {message}",
+        )
+
+    @classmethod
+    def explain(cls) -> str:
+        """Human-oriented rationale card for ``--explain``."""
+        lines: List[str] = [
+            f"{cls.id} [{cls.name}] — {cls.summary}",
+            "",
+            cls.rationale.strip(),
+            "",
+            "Violating example:",
+            _indent(cls.bad_example),
+            "Compliant example:",
+            _indent(cls.good_example),
+            f"Suppress a vetted exception with: "
+            f"# repro-lint: disable={cls.id}",
+        ]
+        return "\n".join(lines)
+
+
+def _indent(block: str) -> str:
+    body = block.strip("\n")
+    return "\n".join(f"    {line}" for line in body.splitlines()) + "\n"

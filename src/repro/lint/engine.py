@@ -1,0 +1,83 @@
+"""Lint engine: parse once per file, run every check, apply suppressions.
+
+The engine is intentionally boring: it walks ``.py`` files, builds one
+:class:`~repro.lint.model.ModuleModel` per file, feeds it to every check
+in :data:`~repro.lint.checks.ALL_CHECKS`, and filters the findings
+through the file's suppression comments.  Unparseable files produce a
+single ``RL000`` syntax finding instead of crashing the run, so the
+linter stays usable on a broken tree.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Optional, Sequence, Type
+
+from .checks import ALL_CHECKS
+from .checks.base import Check
+from .findings import Finding, SuppressionIndex, sort_findings
+from .model import build_module_model
+
+#: Pseudo check ID for files that fail to parse (not suppressible by a
+#: real check ID, but ``disable-file=all`` still silences it).
+SYNTAX_ERROR_ID = "RL000"
+
+#: Directory names never descended into.
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules"}
+
+
+def lint_source(
+    source: str,
+    path: str,
+    checks: Optional[Sequence[Type[Check]]] = None,
+) -> List[Finding]:
+    """Lint one source string; returns suppression-filtered findings."""
+    suppressions = SuppressionIndex.from_source(source)
+    try:
+        module = build_module_model(source, path)
+    except SyntaxError as exc:
+        finding = Finding(
+            path=path,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1),
+            check_id=SYNTAX_ERROR_ID,
+            message=f"[syntax-error] file does not parse: {exc.msg}",
+        )
+        return suppressions.filter([finding])
+    findings: List[Finding] = []
+    for check_cls in checks if checks is not None else ALL_CHECKS:
+        findings.extend(check_cls().run(module))
+    return sort_findings(suppressions.filter(findings))
+
+
+def lint_file(
+    path: str, checks: Optional[Sequence[Type[Check]]] = None
+) -> List[Finding]:
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return lint_source(source, path, checks)
+
+
+def lint_paths(
+    paths: Iterable[str],
+    checks: Optional[Sequence[Type[Check]]] = None,
+) -> List[Finding]:
+    """Lint files and directories (recursively); stable report order."""
+    findings: List[Finding] = []
+    for path in paths:
+        for file_path in iter_python_files(path):
+            findings.extend(lint_file(file_path, checks))
+    return sort_findings(findings)
+
+
+def iter_python_files(path: str) -> List[str]:
+    """``.py`` files under ``path`` (or ``path`` itself), sorted."""
+    if os.path.isfile(path):
+        return [path]
+    collected: List[str] = []
+    for root, dirs, files in os.walk(path):
+        dirs[:] = sorted(d for d in dirs if d not in _SKIP_DIRS)
+        for name in sorted(files):
+            if name.endswith(".py"):
+                collected.append(os.path.join(root, name))
+    return collected

@@ -1,0 +1,107 @@
+"""Findings and suppression comments for the ``repro.lint`` analyzer.
+
+A finding is one diagnostic anchored to a source location; suppressions
+are ``# repro-lint: disable=RL101`` comments that silence specific check
+IDs on their own line, or ``# repro-lint: disable-file=RL101`` comments
+that silence them for the whole file.  ``disable=all`` silences every
+check.  Suppression comments are extracted with :mod:`tokenize` so a
+string literal that merely *contains* the marker never disables anything.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, List, Set
+
+#: Marker accepted in suppression comments, e.g.
+#: ``# repro-lint: disable=RL101,RL203`` or
+#: ``# repro-lint: disable-file=RL301  -- stores payloads, not views``.
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable(?:-file)?)\s*=\s*"
+    r"(?P<ids>all|RL\d{3}(?:\s*,\s*RL\d{3})*)",
+    re.IGNORECASE,
+)
+
+#: Sentinel meaning "every check ID" in a suppression set.
+ALL_CHECKS = "all"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic: a check ID anchored to a file/line/column."""
+
+    path: str
+    line: int
+    col: int
+    check_id: str
+    message: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.check_id} {self.message}"
+        )
+
+
+class SuppressionIndex:
+    """Per-file map of suppressed check IDs, by line and file-wide."""
+
+    def __init__(self) -> None:
+        self.by_line: Dict[int, Set[str]] = {}
+        self.file_wide: Set[str] = set()
+
+    @classmethod
+    def from_source(cls, source: str) -> "SuppressionIndex":
+        """Extract suppression comments from python source.
+
+        Tolerates source that fails to tokenize completely (the parse
+        error is reported elsewhere); whatever comments were seen before
+        the failure still count.
+        """
+        index = cls()
+        reader = io.StringIO(source).readline
+        try:
+            for token in tokenize.generate_tokens(reader):
+                if token.type != tokenize.COMMENT:
+                    continue
+                match = _SUPPRESS_RE.search(token.string)
+                if match is None:
+                    continue
+                ids = _parse_ids(match.group("ids"))
+                if match.group("kind").lower() == "disable-file":
+                    index.file_wide |= ids
+                else:
+                    line = token.start[0]
+                    index.by_line.setdefault(line, set()).update(ids)
+        except (tokenize.TokenError, IndentationError):
+            pass
+        return index
+
+    def suppresses(self, finding: Finding) -> bool:
+        for pool in (self.file_wide, self.by_line.get(finding.line, ())):
+            if ALL_CHECKS in pool or finding.check_id in pool:
+                return True
+        return False
+
+    def filter(self, findings: Iterable[Finding]) -> List[Finding]:
+        return [f for f in findings if not self.suppresses(f)]
+
+
+def _parse_ids(spec: str) -> Set[str]:
+    if spec.lower() == ALL_CHECKS:
+        return {ALL_CHECKS}
+    return {part.strip().upper() for part in spec.split(",") if part.strip()}
+
+
+def sort_findings(findings: Iterable[Finding]) -> List[Finding]:
+    """Stable report order: path, then line/col, then check ID."""
+    return sorted(
+        findings,
+        key=lambda f: (f.path, f.line, f.col, f.check_id, f.message),
+    )

@@ -1,0 +1,11 @@
+"""RL101 fixture (clean): all touched state is staged in ``__init__``."""
+
+
+class Program(NodeProgram):  # noqa: F821
+    def __init__(self):
+        self.count = 0
+        self.scratch = 0
+
+    def on_round(self, ctx):
+        self.scratch = ctx.degree
+        self.count += self.scratch

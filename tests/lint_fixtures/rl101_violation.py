@@ -1,0 +1,10 @@
+"""RL101 fixture: a hook touches state that was never declared."""
+
+
+class Program(NodeProgram):  # noqa: F821
+    def __init__(self):
+        self.count = 0
+
+    def on_round(self, ctx):
+        self.scratch = ctx.degree  # EXPECT: RL101
+        self.count += self.scratch  # EXPECT: RL101

@@ -1,0 +1,12 @@
+"""RL102 fixture (clean): the width string matches a real attribute."""
+
+
+class Program(NodeProgram):  # noqa: F821
+    def __init__(self, executions):
+        self.executions = executions
+
+    @classmethod
+    def state_schema(cls):
+        return (
+            StateField("status", np.int8, width="executions"),  # noqa: F821
+        )

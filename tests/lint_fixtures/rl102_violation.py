@@ -1,0 +1,12 @@
+"""RL102 fixture: ``width=`` names an attribute the program lacks."""
+
+
+class Program(NodeProgram):  # noqa: F821
+    def __init__(self, executions):
+        self.execs = executions
+
+    @classmethod
+    def state_schema(cls):
+        return (
+            StateField("status", np.int8, width="executions"),  # noqa: F821  # EXPECT: RL102
+        )

@@ -1,0 +1,10 @@
+"""RL103 fixture (clean): sentinels fit their declared dtypes."""
+
+
+class Program(NodeProgram):  # noqa: F821
+    @classmethod
+    def state_schema(cls):
+        return (
+            StateField("join_round", np.int64, default=-1),  # noqa: F821
+            StateField("flag", np.bool_, default=False),  # noqa: F821
+        )

@@ -1,0 +1,10 @@
+"""RL103 fixture: a -1 sentinel in an unsigned column (wraps to max)."""
+
+
+class Program(NodeProgram):  # noqa: F821
+    @classmethod
+    def state_schema(cls):
+        return (
+            StateField("join_round", np.uint32, default=-1),  # noqa: F821  # EXPECT: RL103
+            StateField("flag", np.bool_, default=7),  # noqa: F821  # EXPECT: RL103
+        )

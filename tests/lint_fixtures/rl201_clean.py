@@ -1,0 +1,12 @@
+"""RL201 fixture (clean): every draw comes from the per-node stream."""
+
+
+class Program(NodeProgram):  # noqa: F821
+    def __init__(self):
+        self.marked = False
+
+    def on_round(self, ctx):
+        if ctx.rng.random() < 0.5:
+            self.marked = True
+        pick = int(ctx.rng.integers(0, 2))
+        ctx.broadcast(pick)

@@ -1,0 +1,12 @@
+"""RL201 fixture: ambient RNG inside a per-node hook."""
+
+
+class Program(NodeProgram):  # noqa: F821
+    def __init__(self):
+        self.marked = False
+
+    def on_round(self, ctx):
+        if np.random.random() < 0.5:  # noqa: F821  # EXPECT: RL201
+            self.marked = True
+        pick = random.choice([0, 1])  # noqa: F821  # EXPECT: RL201
+        ctx.broadcast(pick)

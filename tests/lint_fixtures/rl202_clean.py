@@ -1,0 +1,11 @@
+"""RL202 fixture (clean): only logical time and seeded draws."""
+
+
+class Program(NodeProgram):  # noqa: F821
+    def __init__(self):
+        self.stamp = 0
+        self.token = 0
+
+    def on_round(self, ctx):
+        self.stamp = ctx.round
+        self.token = int(ctx.rng.integers(0, 2**16))

@@ -1,0 +1,11 @@
+"""RL202 fixture: wall-clock and OS entropy inside hooks."""
+
+
+class Program(NodeProgram):  # noqa: F821
+    def __init__(self):
+        self.stamp = 0.0
+        self.token = b""
+
+    def on_round(self, ctx):
+        self.stamp = time.time()  # noqa: F821  # EXPECT: RL202
+        self.token = os.urandom(4)  # noqa: F821  # EXPECT: RL202

@@ -1,0 +1,13 @@
+"""RL203 fixture (clean): set boundaries crossed through sorted()."""
+
+
+class Program(NodeProgram):  # noqa: F821
+    def __init__(self):
+        self.seen = 0
+
+    def on_receive(self, ctx, messages):
+        joiners = {m.sender for m in messages}
+        for u in sorted(joiners):
+            ctx.send(u, True)
+        totals = [ctx.rng.random() for _ in sorted(set(ctx.neighbors))]
+        self.seen += len(totals)

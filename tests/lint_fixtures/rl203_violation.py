@@ -1,0 +1,13 @@
+"""RL203 fixture: hash-order iteration over a set inside a hook."""
+
+
+class Program(NodeProgram):  # noqa: F821
+    def __init__(self):
+        self.seen = 0
+
+    def on_receive(self, ctx, messages):
+        joiners = {m.sender for m in messages}
+        for u in joiners:  # EXPECT: RL203
+            ctx.send(u, True)
+        totals = [ctx.rng.random() for _ in set(ctx.neighbors)]  # EXPECT: RL203
+        self.seen += len(totals)

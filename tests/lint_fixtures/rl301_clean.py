@@ -1,0 +1,11 @@
+"""RL301 fixture (clean): values are copied out of the Context."""
+
+
+class Program(NodeProgram):  # noqa: F821
+    def __init__(self):
+        self.last_degree = 0
+        self.history = []
+
+    def on_round(self, ctx):
+        self.last_degree = ctx.degree
+        self.history.append(ctx.round)

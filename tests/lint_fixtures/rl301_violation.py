@@ -1,0 +1,11 @@
+"""RL301 fixture: the per-round Context escapes onto ``self``."""
+
+
+class Program(NodeProgram):  # noqa: F821
+    def __init__(self):
+        self.last_ctx = None
+        self.history = []
+
+    def on_round(self, ctx):
+        self.last_ctx = ctx  # EXPECT: RL301
+        self.history.append(ctx)  # EXPECT: RL301

@@ -1,0 +1,13 @@
+"""RL302 fixture (clean): payloads are extracted inside the hook."""
+
+
+class Program(NodeProgram):  # noqa: F821
+    def __init__(self):
+        self.pending = []
+        self.best = None
+
+    def on_receive(self, ctx, messages):
+        self.pending = [m.payload for m in messages]
+        for m in messages:
+            if m.payload:
+                self.best = m.payload

@@ -1,0 +1,13 @@
+"""RL302 fixture: the inbox view and its Message objects escape."""
+
+
+class Program(NodeProgram):  # noqa: F821
+    def __init__(self):
+        self.pending = None
+        self.best = None
+
+    def on_receive(self, ctx, messages):
+        self.pending = messages  # EXPECT: RL302
+        for m in messages:
+            if m.payload:
+                self.best = m  # EXPECT: RL302

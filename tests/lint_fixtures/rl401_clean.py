@@ -1,0 +1,12 @@
+"""RL401 fixture (clean): the full dense-round protocol is implemented."""
+
+
+class Kernel(VectorRound):  # noqa: F821
+    def load(self):
+        pass
+
+    def step_round(self):
+        pass
+
+    def flush_state(self):
+        pass

@@ -1,0 +1,11 @@
+"""RL401 fixture: a kernel missing part of the dense-round protocol."""
+
+
+class Kernel(VectorRound):  # noqa: F821  # EXPECT: RL401
+    def load(self):
+        pass
+
+    def step_round(self):
+        pass
+
+    # flush_state is missing: results never leave the dense arrays.

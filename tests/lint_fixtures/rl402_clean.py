@@ -1,0 +1,15 @@
+"""RL402 fixture (clean): the declared fault capability is consumed."""
+
+
+class Kernel(VectorRound):  # noqa: F821
+    supports_edge_faults = True
+
+    def load(self):
+        pass
+
+    def step_round(self):
+        keep = self.fault_keep() if self.faults is not None else None
+        return keep
+
+    def flush_state(self):
+        pass

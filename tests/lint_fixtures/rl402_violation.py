@@ -1,0 +1,14 @@
+"""RL402 fixture: fault capability declared but never implemented."""
+
+
+class Kernel(VectorRound):  # noqa: F821  # EXPECT: RL402
+    supports_edge_faults = True
+
+    def load(self):
+        pass
+
+    def step_round(self):
+        pass
+
+    def flush_state(self):
+        pass

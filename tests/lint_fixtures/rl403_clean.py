@@ -1,0 +1,15 @@
+"""RL403 fixture (clean): the kernel pops the wake calendar each round."""
+
+
+class Kernel(VectorRound):  # noqa: F821
+    supports_schedules = True
+
+    def load(self):
+        pass
+
+    def step_round(self):
+        awake = self.pop_scheduled_awake()
+        return awake
+
+    def flush_state(self):
+        pass

@@ -1,0 +1,14 @@
+"""RL403 fixture: schedule capability declared but the calendar ignored."""
+
+
+class Kernel(VectorRound):  # noqa: F821  # EXPECT: RL403
+    supports_schedules = True
+
+    def load(self):
+        pass
+
+    def step_round(self):
+        pass
+
+    def flush_state(self):
+        pass

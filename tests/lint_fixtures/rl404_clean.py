@@ -1,0 +1,13 @@
+"""RL404 fixture (clean): both registries carry the same names."""
+
+ALGORITHMS = {
+    "luby": luby_mis,  # noqa: F821
+    "newalg": newalg_mis,  # noqa: F821
+}
+
+
+def _program_classes():
+    return {
+        "luby": (LubyProgram,),  # noqa: F821
+        "newalg": (NewAlgProgram,),  # noqa: F821
+    }

@@ -1,0 +1,13 @@
+"""RL404 fixture: the two harness registries disagree on names."""
+
+ALGORITHMS = {  # EXPECT: RL404
+    "luby": luby_mis,  # noqa: F821
+    "newalg": newalg_mis,  # noqa: F821
+}
+
+
+def _program_classes():  # EXPECT: RL404
+    return {
+        "luby": (LubyProgram,),  # noqa: F821
+        "oldalg": (OldAlgProgram,),  # noqa: F821
+    }

@@ -1,0 +1,18 @@
+"""RL405 fixture (clean): the hook constructs a real VectorRound."""
+
+
+class _Kernel(VectorRound):  # noqa: F821
+    def load(self):
+        pass
+
+    def step_round(self):
+        pass
+
+    def flush_state(self):
+        pass
+
+
+class Program(NodeProgram):  # noqa: F821
+    @classmethod
+    def vector_round(cls, network):
+        return _Kernel(network)

@@ -1,0 +1,12 @@
+"""RL405 fixture: the capability hook builds a non-kernel object."""
+
+
+class Helper:
+    def __init__(self, network):
+        self.network = network
+
+
+class Program(NodeProgram):  # noqa: F821
+    @classmethod
+    def vector_round(cls, network):
+        return Helper(network)  # EXPECT: RL405

@@ -1,0 +1,14 @@
+"""Suppression fixture: real violations silenced by directives.
+
+Must lint clean — proves both the line-scoped and file-wide forms.
+"""
+# repro-lint: disable-file=RL202
+
+
+class Program(NodeProgram):  # noqa: F821
+    def __init__(self):
+        self.stamp = 0.0
+
+    def on_round(self, ctx):
+        self.scratch = 1  # repro-lint: disable=RL101 -- vetted scratch slot
+        self.stamp = time.time()  # noqa: F821  (file-wide RL202 disable)

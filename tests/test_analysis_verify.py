@@ -1,6 +1,5 @@
 """Tests for MIS verification, including hypothesis property tests."""
 
-import networkx as nx
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

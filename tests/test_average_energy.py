@@ -1,6 +1,5 @@
 """Tests for Section 4: constant node-averaged energy."""
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Tests for Luby's algorithm on the CONGEST engine."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """Tests for the unmodified regularized-Luby baseline."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -10,7 +10,6 @@ from hypothesis import strategies as st
 from repro import graphs
 from repro.cluster import (
     Choreography,
-    ClusterState,
     RootedTree,
     merge_component_clusters,
     singleton_clusters,

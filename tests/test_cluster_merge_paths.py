@@ -5,7 +5,6 @@ topologies that force each path to be exercised.
 """
 
 import networkx as nx
-import pytest
 
 from repro import graphs
 from repro.cluster import (

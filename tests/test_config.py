@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.core.config import DEFAULT_CONFIG, AlgorithmConfig, log2n, loglog2n
+from repro.core.config import DEFAULT_CONFIG, log2n, loglog2n
 
 
 class TestHelpers:

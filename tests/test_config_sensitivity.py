@@ -1,7 +1,6 @@
 """Config sensitivity: the knobs must move the measured quantities in the
 documented direction (these are the levers the ablations pull)."""
 
-import pytest
 
 from repro import graphs
 from repro.analysis import verify_mis

@@ -3,7 +3,6 @@
 individual phases must hold (1-bit marks, K-bit execution vectors,
 O(log n)-bit counters)."""
 
-import pytest
 
 from repro import graphs
 from repro.baselines import (

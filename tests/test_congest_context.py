@@ -1,6 +1,5 @@
 """Direct tests of the node Context API."""
 
-import pytest
 
 from repro import graphs
 from repro.congest import EnergyLedger, Network, NodeProgram

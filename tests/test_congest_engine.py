@@ -4,7 +4,6 @@ import networkx as nx
 import pytest
 
 from repro.congest import (
-    Context,
     DuplicateMessageError,
     EnergyLedger,
     MessageTooLargeError,

@@ -1,6 +1,5 @@
 """White-box tests of the Ghaffari-2016 desire-level mechanics."""
 
-import pytest
 
 from repro import graphs
 from repro.baselines import ACTIVE, JOINED, REMOVED, GhaffariProgram

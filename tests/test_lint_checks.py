@@ -1,0 +1,161 @@
+"""Unit coverage for the analyzer framework and per-check documentation.
+
+The embedded ``bad_example`` / ``good_example`` of every check are part
+of its contract: the bad one must trigger exactly that check, the good
+one must lint clean. This is what keeps ``repro lint --explain``
+truthful — the examples it prints are verified here, so they cannot
+drift from what the analyzer enforces.
+"""
+
+import pytest
+
+from repro.lint import (
+    ALL_CHECKS,
+    SYNTAX_ERROR_ID,
+    Finding,
+    SuppressionIndex,
+    get_check,
+    lint_source,
+    sort_findings,
+)
+
+CHECK_IDS = [check.id for check in ALL_CHECKS]
+
+
+def test_registry_ids_are_unique_and_well_formed():
+    assert len(set(CHECK_IDS)) == len(CHECK_IDS)
+    for check in ALL_CHECKS:
+        assert check.id.startswith("RL") and len(check.id) == 5
+        assert check.name and check.summary and check.rationale
+        assert check.bad_example.strip()
+        assert check.good_example.strip()
+
+
+@pytest.mark.parametrize("check", ALL_CHECKS, ids=lambda c: c.id)
+def test_bad_example_triggers_exactly_this_check(check):
+    findings = lint_source(check.bad_example, "bad.py", checks=[check])
+    assert findings, f"{check.id} bad_example does not trigger it"
+    assert {f.check_id for f in findings} == {check.id}
+
+
+@pytest.mark.parametrize("check", ALL_CHECKS, ids=lambda c: c.id)
+def test_good_example_lints_clean_under_full_battery(check):
+    assert lint_source(check.good_example, "good.py") == []
+
+
+@pytest.mark.parametrize("check", ALL_CHECKS, ids=lambda c: c.id)
+def test_explain_card_mentions_both_examples(check):
+    card = check.explain()
+    assert check.id in card
+    assert check.name in card
+    assert f"disable={check.id}" in card
+
+
+def test_get_check_resolves_id_and_name():
+    assert get_check("RL101").id == "RL101"
+    assert get_check("rl101").id == "RL101"
+    assert get_check("undeclared-state").id == "RL101"
+    assert get_check("RL999") is None
+
+
+# ---------------------------------------------------------------------------
+# Suppressions
+# ---------------------------------------------------------------------------
+class TestSuppressions:
+    def test_line_scoped_directive(self):
+        source = (
+            "class P(NodeProgram):\n"
+            "    def on_round(self, ctx):\n"
+            "        self.x = 1  # repro-lint: disable=RL101\n"
+        )
+        assert lint_source(source, "f.py") == []
+
+    def test_file_wide_directive(self):
+        source = (
+            "# repro-lint: disable-file=RL101\n"
+            "class P(NodeProgram):\n"
+            "    def on_round(self, ctx):\n"
+            "        self.x = 1\n"
+        )
+        assert lint_source(source, "f.py") == []
+
+    def test_disable_all(self):
+        source = (
+            "class P(NodeProgram):\n"
+            "    def on_round(self, ctx):\n"
+            "        self.x = ctx  # repro-lint: disable=all\n"
+        )
+        assert lint_source(source, "f.py") == []
+
+    def test_unrelated_id_does_not_suppress(self):
+        source = (
+            "class P(NodeProgram):\n"
+            "    def on_round(self, ctx):\n"
+            "        self.x = 1  # repro-lint: disable=RL203\n"
+        )
+        assert {f.check_id for f in lint_source(source, "f.py")} == {
+            "RL101"
+        }
+
+    def test_marker_inside_string_literal_is_inert(self):
+        source = (
+            'TEXT = "# repro-lint: disable-file=all"\n'
+            "class P(NodeProgram):\n"
+            "    def on_round(self, ctx):\n"
+            "        self.x = 1\n"
+        )
+        assert {f.check_id for f in lint_source(source, "f.py")} == {
+            "RL101"
+        }
+
+    def test_multiple_ids_one_directive(self):
+        index = SuppressionIndex.from_source(
+            "x = 1  # repro-lint: disable=RL101, RL203\n"
+        )
+        assert index.by_line[1] == {"RL101", "RL203"}
+
+
+# ---------------------------------------------------------------------------
+# Engine behavior
+# ---------------------------------------------------------------------------
+def test_syntax_error_becomes_rl000_finding():
+    findings = lint_source("def broken(:\n", "broken.py")
+    assert len(findings) == 1
+    assert findings[0].check_id == SYNTAX_ERROR_ID
+
+
+def test_sort_findings_orders_by_path_then_position():
+    a = Finding("b.py", 1, 1, "RL101", "m")
+    b = Finding("a.py", 9, 1, "RL101", "m")
+    c = Finding("a.py", 2, 5, "RL203", "m")
+    assert sort_findings([a, b, c]) == [c, b, a]
+
+
+def test_finding_render_and_dict_roundtrip():
+    f = Finding("x.py", 3, 7, "RL101", "[undeclared-state] msg")
+    assert f.render() == "x.py:3:7: RL101 [undeclared-state] msg"
+    assert f.to_dict()["line"] == 3
+
+
+def test_inherited_state_is_visible_to_subclasses():
+    """Attributes staged in an in-module ancestor count as declared."""
+    source = (
+        "class Base(NodeProgram):\n"
+        "    def __init__(self):\n"
+        "        self.level = 0\n"
+        "class Child(Base):\n"
+        "    def on_round(self, ctx):\n"
+        "        self.level += 1\n"
+    )
+    assert lint_source(source, "f.py") == []
+
+
+def test_opaque_schema_is_skipped_not_guessed():
+    """A computed state_schema() must not produce RL102/RL103 noise."""
+    source = (
+        "class P(NodeProgram):\n"
+        "    @classmethod\n"
+        "    def state_schema(cls):\n"
+        "        return tuple(make_fields())\n"
+    )
+    assert lint_source(source, "f.py") == []

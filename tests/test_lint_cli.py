@@ -1,0 +1,83 @@
+"""CLI surface of ``python -m repro lint``: formats, exit codes, explain."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main as repro_main
+from repro.lint import ALL_CHECKS
+from repro.lint.cli import main as lint_main
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+CLEAN_FIXTURE = str(FIXTURES / "rl101_clean.py")
+VIOLATION_FIXTURE = str(FIXTURES / "rl101_violation.py")
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, capsys):
+        assert lint_main([CLEAN_FIXTURE]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, capsys):
+        assert lint_main([VIOLATION_FIXTURE]) == 1
+        out = capsys.readouterr().out
+        assert "RL101" in out
+
+    def test_fixture_corpus_exits_one(self, capsys):
+        assert lint_main([str(FIXTURES)]) == 1
+
+    def test_unknown_explain_id_exits_two(self, capsys):
+        assert lint_main(["--explain", "RL999"]) == 2
+        assert "unknown check" in capsys.readouterr().err
+
+
+class TestJsonFormat:
+    def test_json_report_smoke(self, capsys):
+        code = lint_main([VIOLATION_FIXTURE, "--format", "json"])
+        assert code == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["tool"] == "repro-lint"
+        assert report["finding_count"] == len(report["findings"]) > 0
+        first = report["findings"][0]
+        assert set(first) == {"path", "line", "col", "check_id", "message"}
+        assert first["check_id"] == "RL101"
+
+    def test_json_clean_report(self, capsys):
+        assert lint_main([CLEAN_FIXTURE, "--format", "json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["finding_count"] == 0
+        assert report["findings"] == []
+
+
+class TestExplainAndList:
+    @pytest.mark.parametrize(
+        "check", ALL_CHECKS, ids=lambda c: c.id
+    )
+    def test_explain_every_check(self, check, capsys):
+        assert lint_main(["--explain", check.id]) == 0
+        out = capsys.readouterr().out
+        assert check.id in out
+        assert "Violating example:" in out
+        assert "Compliant example:" in out
+
+    def test_explain_accepts_kebab_name(self, capsys):
+        assert lint_main(["--explain", "undeclared-state"]) == 0
+        assert "RL101" in capsys.readouterr().out
+
+    def test_list_enumerates_the_battery(self, capsys):
+        assert lint_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for check in ALL_CHECKS:
+            assert check.id in out
+
+
+class TestDispatch:
+    """``repro lint ...`` must route through the top-level CLI."""
+
+    def test_main_module_dispatches_lint(self, capsys):
+        assert repro_main(["lint", CLEAN_FIXTURE]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_main_module_dispatch_propagates_findings(self, capsys):
+        assert repro_main(["lint", VIOLATION_FIXTURE]) == 1

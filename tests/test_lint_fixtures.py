@@ -1,0 +1,86 @@
+"""Fixture-corpus contract for the ``repro.lint`` analyzer.
+
+Every ``rlXXX_violation.py`` fixture marks its expected findings with
+``# EXPECT: RLxxx`` comments on the exact anchor line; this suite
+asserts the analyzer reports exactly that set of ``(line, check_id)``
+pairs — no extras, no misses, no drifted line numbers — and that every
+``*_clean.py`` twin and the suppression fixture lint clean.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.lint import ALL_CHECKS, lint_file, lint_paths
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+
+_EXPECT_RE = re.compile(r"#\s*EXPECT:\s*(RL\d{3}(?:\s*,\s*RL\d{3})*)")
+
+VIOLATION_FILES = sorted(FIXTURES.glob("rl*_violation.py"))
+CLEAN_FILES = sorted(FIXTURES.glob("rl*_clean.py"))
+
+
+def expected_findings(path: Path):
+    """``{(line, check_id)}`` parsed from the EXPECT markers."""
+    expected = set()
+    for lineno, line in enumerate(
+        path.read_text().splitlines(), start=1
+    ):
+        match = _EXPECT_RE.search(line)
+        if match:
+            for check_id in match.group(1).split(","):
+                expected.add((lineno, check_id.strip()))
+    return expected
+
+
+def test_corpus_covers_every_check():
+    """One violation + one clean fixture exists per registered check."""
+    ids = {check.id for check in ALL_CHECKS}
+    violation_ids = {
+        p.name[: len("rl000")].upper() for p in VIOLATION_FILES
+    }
+    clean_ids = {p.name[: len("rl000")].upper() for p in CLEAN_FILES}
+    assert violation_ids == ids
+    assert clean_ids == ids
+
+
+@pytest.mark.parametrize(
+    "path", VIOLATION_FILES, ids=lambda p: p.name
+)
+def test_violation_fixture_exact_findings(path):
+    expected = expected_findings(path)
+    assert expected, f"{path.name} has no EXPECT markers"
+    actual = {(f.line, f.check_id) for f in lint_file(str(path))}
+    assert actual == expected
+
+
+@pytest.mark.parametrize("path", CLEAN_FILES, ids=lambda p: p.name)
+def test_clean_fixture_has_no_findings(path):
+    assert lint_file(str(path)) == []
+
+
+def test_suppression_fixture_lints_clean():
+    """Line- and file-scoped directives both silence real violations."""
+    path = FIXTURES / "suppressed.py"
+    assert lint_file(str(path)) == []
+
+
+def test_corpus_as_a_whole_is_nonzero_and_exact():
+    """The full corpus yields exactly the union of the EXPECT markers."""
+    findings = lint_paths([str(FIXTURES)])
+    assert findings, "fixture corpus unexpectedly lints clean"
+    actual = {
+        (Path(f.path).name, f.line, f.check_id) for f in findings
+    }
+    expected = set()
+    for path in VIOLATION_FILES:
+        for line, check_id in expected_findings(path):
+            expected.add((path.name, line, check_id))
+    assert actual == expected
+
+
+def test_every_check_id_fires_somewhere_in_corpus():
+    fired = {f.check_id for f in lint_paths([str(FIXTURES)])}
+    assert fired == {check.id for check in ALL_CHECKS}

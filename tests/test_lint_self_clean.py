@@ -1,0 +1,56 @@
+"""The analyzer gate: ``src/repro`` must lint clean, and stay that way.
+
+Also pins the first real bug the linter caught (RL101): GhaffariProgram
+wrote an undeclared ``self._joined_now`` inside its join hook — a dead
+store that lived only in the instance ``__dict__``, invisible to the
+column state layout.
+"""
+
+from pathlib import Path
+
+from repro import graphs
+from repro.baselines.ghaffari import GhaffariProgram
+from repro.congest import Network
+from repro.lint import lint_paths
+
+SRC = Path(__file__).parent.parent / "src" / "repro"
+
+
+def test_src_repro_lints_clean():
+    findings = lint_paths([str(SRC)])
+    rendered = "\n".join(f.render() for f in findings)
+    assert findings == [], f"repro lint found:\n{rendered}"
+
+
+class TestGhaffariUndeclaredStateRegression:
+    """Hooks must not grow instance state the schema never declared."""
+
+    def _run_programs(self, seed=0):
+        g = graphs.gnp(30, 0.2, seed=seed)
+        programs = {
+            v: GhaffariProgram(iterations=40, executions=4)
+            for v in g.nodes
+        }
+        network = Network(g, programs, seed=seed)
+        network.run(max_rounds=10 * 40 + 16)
+        return programs
+
+    def test_no_joined_now_scratch_attribute(self):
+        programs = self._run_programs()
+        for program in programs.values():
+            assert "_joined_now" not in vars(program)
+
+    def test_instance_dict_stays_within_declared_surface(self):
+        """After a full run, no hook has invented new instance state.
+
+        The engine itself stages ``_state_*`` bookkeeping when it binds
+        column state; everything else must come from ``__init__``.
+        """
+        baseline = set(vars(GhaffariProgram(iterations=40, executions=4)))
+        for program in self._run_programs(seed=3).values():
+            grown = {
+                name
+                for name in vars(program)
+                if not name.startswith("_state_")
+            }
+            assert grown <= baseline

@@ -5,7 +5,7 @@ import pytest
 
 from repro import graphs
 from repro.analysis import is_independent_set, verify_mis
-from repro.cluster import singleton_clusters, state_from_trees, RootedTree
+from repro.cluster import singleton_clusters
 from repro.congest import EnergyLedger
 from repro.core import run_phase2, run_phase3
 from repro.core.config import DEFAULT_CONFIG

@@ -1,7 +1,6 @@
 """Tests for the LOCAL-model Phase III shortcut."""
 
 import networkx as nx
-import pytest
 
 from repro import graphs
 from repro.analysis import verify_mis

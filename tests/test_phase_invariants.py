@@ -16,7 +16,6 @@ output contract.
 import math
 
 import networkx as nx
-import pytest
 
 from repro import graphs
 from repro.analysis import is_independent_set
